@@ -1,0 +1,20 @@
+"""E10 — ablation of the committee constant alpha and of the rushing /
+non-rushing adversary distinction (design choices behind Theorem 2)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e10_ablation_alpha import run as run_e10
+
+
+def test_e10_ablation(benchmark):
+    report = run_and_record(benchmark, run_e10)
+    alpha_rows = [row for row in report.rows if row["setting"] == "alpha"]
+    adversary_rows = [row for row in report.rows if row["setting"] == "adversary model"]
+    assert alpha_rows and len(adversary_rows) == 2
+    # Larger alpha buys more scheduled phases, hence at least as high an
+    # agreement rate for the bounded (w.h.p.) variant.
+    assert alpha_rows[-1]["agreement_rate"] >= alpha_rows[0]["agreement_rate"]
+    assert alpha_rows[-1]["agreement_rate"] == 1.0
+    # Both adversary models are survived (Las Vegas variant).
+    assert all(row["agreement_rate"] == 1.0 for row in adversary_rows)

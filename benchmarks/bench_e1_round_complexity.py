@@ -1,0 +1,21 @@
+"""E1 — round complexity vs t: this paper vs Chor–Coan under the adaptive
+rushing straddle adversary (the paper's headline comparison, Theorem 2)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e1_round_complexity import run as run_e1
+
+
+def test_e1_round_complexity_vs_t(benchmark):
+    report = run_and_record(benchmark, run_e1)
+    rows = report.rows
+    assert rows, "E1 produced no data"
+    # Every configuration must reach agreement in every trial.
+    assert all(row["agree_ours"] == 1.0 for row in rows)
+    assert all(row["agree_cc"] == 1.0 for row in rows)
+    # The paper's protocol should never be meaningfully slower than Chor-Coan,
+    # and should be strictly faster for the smaller t values in the sweep.
+    assert all(row["rounds_ours"] <= row["rounds_chor_coan"] * 1.25 + 4 for row in rows)
+    small_t_rows = rows[: max(1, len(rows) // 2)]
+    assert any(row["speedup"] > 1.1 for row in small_t_rows)

@@ -1,0 +1,19 @@
+"""E3 — early termination: rounds as a function of the actual number of
+corruptions q (Theorem 2, second clause)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e3_early_termination import run as run_e3
+
+
+def test_e3_early_termination(benchmark):
+    report = run_and_record(benchmark, run_e3)
+    rows = report.rows
+    assert all(row["agreement_rate"] == 1.0 for row in rows)
+    # Rounds must grow with the actual corruption budget q ...
+    assert rows[0]["mean_rounds"] <= rows[-1]["mean_rounds"]
+    # ... and the q=0 runs terminate essentially immediately.
+    assert rows[0]["mean_rounds"] <= 8
+    # The adversary never uses more corruptions than its actual budget.
+    assert all(row["mean_corrupted"] <= row["q"] for row in rows)

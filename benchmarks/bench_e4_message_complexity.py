@@ -1,0 +1,20 @@
+"""E4 — message complexity vs t and CONGEST per-edge discipline
+(Section 1.2 / Section 4)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e4_message_complexity import run as run_e4
+
+
+def test_e4_message_complexity(benchmark):
+    report = run_and_record(benchmark, run_e4)
+    rows = report.rows
+    assert rows
+    # The paper's protocol never sends meaningfully more messages than
+    # Chor-Coan on the same configuration.
+    assert all(row["messages_ours"] <= row["messages_chor_coan"] * 1.25 + 1000 for row in rows)
+    # Strict CONGEST accounting: zero violations for the committee protocol.
+    assert all(row["congest_violations_ours"] == 0 for row in rows)
+    # Message counts grow with t (more phases -> more broadcasts).
+    assert rows[0]["messages_ours"] <= rows[-1]["messages_ours"]

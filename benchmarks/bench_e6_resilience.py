@@ -1,0 +1,19 @@
+"""E6 — resilience matrix: agreement and validity across every adversary
+strategy and input pattern at t < n/3 (Definition 1 / Theorem 2)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e6_resilience import run as run_e6
+
+
+def test_e6_resilience_matrix(benchmark):
+    report = run_and_record(benchmark, run_e6)
+    rows = report.rows
+    assert rows
+    # Observed agreement and validity rates must be 1.0 in every configuration.
+    assert all(row["agreement_rate"] == 1.0 for row in rows)
+    assert all(row["validity_rate"] == 1.0 for row in rows)
+    # Unanimous-input runs terminate fast regardless of the adversary.
+    unanimous = [row for row in rows if row["inputs"].startswith("unanimous")]
+    assert all(row["mean_rounds"] <= 6 for row in unanimous)

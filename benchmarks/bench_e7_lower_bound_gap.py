@@ -1,0 +1,23 @@
+"""E7 — distance to the Bar-Joseph & Ben-Or lower bound at t = sqrt(n)
+(Theorem 1 / Section 4)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e7_lower_bound_gap import run as run_e7
+
+
+def test_e7_lower_bound_gap(benchmark):
+    report = run_and_record(benchmark, run_e7)
+    rows = report.rows
+    assert rows
+    for row in rows:
+        # Measured rounds always dominate the lower bound ...
+        assert row["measured_rounds"] >= row["lower_bound"] - 1e-9
+        # ... and stay within the polylogarithmic allowance claimed at t ~ sqrt(n).
+        assert row["gap_measured_vs_lb"] <= row["polylog_budget"] * 4
+    # Crash faults (the lower bound's model) never cost more rounds than the
+    # full Byzantine attack on the configurations where both were measured.
+    measured_both = [row for row in rows if row["crash_rounds"] is not None]
+    for row in measured_both:
+        assert row["crash_rounds"] <= row["measured_rounds"] * 2 + 8

@@ -1,0 +1,23 @@
+"""E8 — Las Vegas variant: termination-round distribution under attack
+(Section 3.2, closing remark)."""
+
+from __future__ import annotations
+
+from benchmarks.harness import run_and_record
+from repro.experiments.e8_las_vegas import run as run_e8
+
+
+def test_e8_las_vegas_distribution(benchmark):
+    report = run_and_record(benchmark, run_e8)
+    rows = report.rows
+    assert rows
+    # Las Vegas: every single run terminates and agrees.
+    assert all(row["termination_rate"] == 1.0 for row in rows)
+    assert all(row["agreement_rate"] == 1.0 for row in rows)
+    # The distribution is well-behaved: median and mean below p95, p95 <= max.
+    for row in rows:
+        assert row["median_rounds"] <= row["p95_rounds"] + 1e-9
+        assert row["mean_rounds"] <= row["p95_rounds"] + 1e-9
+        assert row["p95_rounds"] <= row["max_rounds"] + 1e-9
+    # Expected rounds grow with t, mirroring the bounded variant's schedule.
+    assert rows[0]["mean_rounds"] <= rows[-1]["mean_rounds"]

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the two execution engines.
+
+Not tied to a paper claim; these measure the cost of a single protocol
+execution in the object-level simulator and in the vectorised engine, which is
+what determines how large a sweep the experiment harness can afford.  They use
+pytest-benchmark's statistical timing (multiple rounds), unlike the experiment
+benchmarks which run their sweep exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import ProtocolParameters
+from repro.core.runner import run_agreement
+from repro.simulator.vectorized import VectorizedAgreementSimulator
+
+
+def test_object_engine_single_run(benchmark):
+    """One attacked execution at n=48 in the faithful object-level simulator."""
+
+    def run_once():
+        return run_agreement(
+            n=48, t=10, protocol="committee-ba-las-vegas", adversary="coin-attack",
+            inputs="split", seed=5,
+        )
+
+    result = benchmark(run_once)
+    assert result.agreement
+
+
+def test_vectorized_engine_single_run(benchmark):
+    """One attacked execution at n=1024 in the vectorised engine."""
+    params = ProtocolParameters.derive(1024, 64)
+    simulator = VectorizedAgreementSimulator(n=1024, t=64, params=params, adversary="straddle")
+    inputs = np.zeros(1024, dtype=np.int8)
+    inputs[512:] = 1
+
+    def run_once():
+        rng = np.random.Generator(np.random.Philox(key=np.array([11, 0], dtype=np.uint64)))
+        return simulator.run(inputs, rng)
+
+    result = benchmark(run_once)
+    assert result.agreement
+
+
+def test_common_coin_single_round(benchmark):
+    """One round of the standalone common coin (Algorithm 1) at n=64 under attack."""
+    from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+    from repro.core.common_coin import run_common_coin
+
+    def run_once():
+        return run_common_coin(64, CoinAttackAdversary(4), seed=3)
+
+    outcome = benchmark(run_once)
+    assert outcome.outputs

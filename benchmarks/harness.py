@@ -1,0 +1,50 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's experiment index
+(E1–E10) by calling the corresponding ``repro.experiments.<module>.run``
+function, timing it with pytest-benchmark, printing the resulting table and
+saving it under ``benchmarks/results/<id>.txt`` (the files EXPERIMENTS.md is
+assembled from).
+
+Scale control
+-------------
+By default the quick sweeps are used so the whole benchmark suite completes in
+a few minutes.  Set the environment variable ``REPRO_FULL_EXPERIMENTS=1`` to
+run the full sweeps recorded in EXPERIMENTS.md (tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.metrics.reporting import ExperimentReport
+
+#: Directory where rendered experiment tables are written.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def full_experiments_requested() -> bool:
+    """True when the full (EXPERIMENTS.md-scale) sweeps were requested."""
+    return os.environ.get("REPRO_FULL_EXPERIMENTS", "0") not in ("", "0", "false", "no")
+
+
+def run_and_record(benchmark, experiment_fn) -> ExperimentReport:
+    """Time one experiment, print its table and persist it to results/.
+
+    Args:
+        benchmark: The pytest-benchmark fixture.
+        experiment_fn: ``repro.experiments.<module>.run``.
+
+    Returns:
+        The rendered :class:`ExperimentReport`.
+    """
+    quick = not full_experiments_requested()
+    report = benchmark.pedantic(experiment_fn, kwargs={"quick": quick}, rounds=1, iterations=1)
+    text = report.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    output_path = RESULTS_DIR / f"{report.experiment_id}.txt"
+    mode = "full" if not quick else "quick"
+    output_path.write_text(f"(sweep mode: {mode})\n{text}\n", encoding="utf-8")
+    return report

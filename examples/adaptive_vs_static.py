@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Adaptive vs static adversaries: why adaptivity matters.
+
+The paper's whole point is that the *adaptive* adversary — which picks its
+Byzantine nodes during the execution, after seeing the protocol's random
+choices — is fundamentally stronger than the static adversary most prior work
+assumes.  This example quantifies that on the paper's own protocol: the same
+network, the same inputs, the same corruption budget, once attacked by a
+static equivocator (nodes fixed up front) and once by the adaptive rushing
+coin-straddling attack.
+
+The static adversary can only hope its pre-chosen nodes land in useful
+committees; the adaptive one corrupts exactly the committee members whose coin
+flips it needs to cancel, so it buys far more delay with the same budget —
+while agreement still holds in every run, as Theorem 2 promises.
+
+Usage::
+
+    python examples/adaptive_vs_static.py [n] [t] [trials]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AgreementExperiment, run_trials
+from repro.metrics.reporting import format_table
+
+ADVERSARIES = [
+    ("null (no faults)", "null"),
+    ("static equivocator", "static"),
+    ("adaptive, non-rushing (committee targeting)", "committee-targeting"),
+    ("adaptive, rushing (coin straddling)", "coin-attack"),
+]
+
+
+def main(n: int = 48, t: int = 12, trials: int = 10) -> None:
+    print(f"Protocol: committee-ba (Las Vegas variant), n={n}, t={t}, "
+          f"split inputs, {trials} trials per adversary\n")
+    rows = []
+    for label, adversary in ADVERSARIES:
+        result = run_trials(
+            AgreementExperiment(
+                n=n, t=t, protocol="committee-ba-las-vegas", adversary=adversary,
+                inputs="split",
+            ),
+            num_trials=trials,
+            base_seed=2024,
+        )
+        rows.append(
+            {
+                "adversary": label,
+                "mean_rounds": result.mean_rounds,
+                "max_rounds": result.max_rounds,
+                "mean_corrupted": result.mean_corrupted,
+                "agreement_rate": result.agreement_rate,
+                "validity_rate": result.validity_rate,
+            }
+        )
+    print(format_table(rows))
+    print()
+    static_rounds = rows[1]["mean_rounds"]
+    adaptive_rounds = rows[3]["mean_rounds"]
+    print(f"The adaptive rushing adversary forces {adaptive_rounds / static_rounds:.1f}x as many "
+          f"rounds as the static adversary with the same budget —")
+    print("yet agreement and validity hold in every run, as Theorem 2 guarantees.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Theorem 3 up close: the one-round common coin under an adaptive rushing attack.
+
+Algorithm 1 is a single round: everyone flips ±1, broadcasts, and outputs the
+sign of the sum.  A rushing adaptive adversary sees all the flips and *then*
+corrupts up to ``sqrt(n)/2`` nodes, sending different values to different
+honest nodes in their place.  Theorem 3 (via the Paley–Zygmund inequality)
+says this still yields a common coin with constant probability, because with
+probability >= 1/12 the honest sum's magnitude already exceeds anything the
+adversary can cancel.
+
+This example estimates that success probability by Monte-Carlo for a range of
+network sizes and prints it next to (a) the paper's conservative 1/12-style
+bound and (b) the exact anti-concentration probability, and then shows what
+happens when the adversary's budget exceeds the sqrt(n)/2 threshold.
+
+Usage::
+
+    python examples/common_coin_demo.py [trials]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.analysis.paley_zygmund import coin_success_lower_bound, exact_common_coin_probability
+from repro.core.common_coin import run_common_coin
+from repro.metrics.reporting import format_table
+
+
+def estimate(n: int, budget: int, trials: int) -> tuple[float, float]:
+    """Return (P(common), P(coin=1 | common)) under the straddle attack."""
+    common, ones = 0, 0
+    for seed in range(trials):
+        outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=seed)
+        if outcome.common:
+            common += 1
+            ones += outcome.value or 0
+    return common / trials, (ones / common if common else float("nan"))
+
+
+def main(trials: int = 150) -> None:
+    print(f"Monte-Carlo with {trials} trials per configuration, "
+          "adversary = adaptive rushing straddle attack\n")
+
+    rows = []
+    for n in (16, 36, 64, 100, 144):
+        budget = int(math.floor(0.5 * math.sqrt(n)))
+        measured, bias = estimate(n, budget, trials)
+        rows.append(
+            {
+                "n": n,
+                "budget sqrt(n)/2": budget,
+                "measured P(common)": measured,
+                "exact bound": exact_common_coin_probability(n, budget),
+                "paper (PZ) bound": coin_success_lower_bound(n),
+                "P(coin=1 | common)": bias,
+            }
+        )
+    print("Within Theorem 3's tolerance (budget = sqrt(n)/2):")
+    print(format_table(rows))
+    print()
+
+    rows = []
+    n = 64
+    for budget in (4, 8, 16, 21):
+        measured, _ = estimate(n, budget, trials)
+        rows.append(
+            {
+                "n": n,
+                "budget": budget,
+                "budget / sqrt(n)": budget / math.sqrt(n),
+                "measured P(common)": measured,
+                "exact bound": exact_common_coin_probability(n, budget),
+            }
+        )
+    print("Beyond the tolerance (n=64, growing budget) — the coin degrades, showing the")
+    print("sqrt(n) threshold is not an artifact of the analysis:")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

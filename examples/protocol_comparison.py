@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The headline comparison: this paper vs Chor-Coan vs deterministic protocols.
+
+Sweeps the fault bound ``t`` at a fixed network size and measures the mean
+number of rounds to agreement for
+
+* the paper's committee-based protocol (committee size ``n/c`` with
+  ``c = min{alpha ceil(t^2/n) log n, 3 alpha t / log n}``),
+* Chor-Coan (groups of size ``log n`` — the 1985 baseline the paper improves),
+* the deterministic phase-king protocol (``Theta(t)`` rounds, shown for the
+  ``t`` values where its ``n > 4t`` resilience allows),
+
+all under the strongest applicable adversary, together with the paper's
+analytic curves.  This is a small-scale, object-simulator version of
+benchmark E1 (the benchmark uses the vectorised engine at n >= 1024).
+
+Usage::
+
+    python examples/protocol_comparison.py [n] [trials]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AgreementExperiment, run_trials
+from repro.core.parameters import (
+    max_tolerable_t,
+    predicted_rounds,
+    predicted_rounds_chor_coan,
+)
+from repro.metrics.reporting import format_table
+
+
+def main(n: int = 64, trials: int = 8) -> None:
+    t_max = max_tolerable_t(n)
+    t_values = sorted({2, 4, t_max // 4, t_max // 2, t_max} - {0})
+    print(f"n={n}, t swept up to t_max={t_max}, {trials} trials per point, split inputs")
+    print("adversary: adaptive rushing coin-straddling attack "
+          "(static for the deterministic baseline)\n")
+
+    rows = []
+    for t in t_values:
+        ours = run_trials(
+            AgreementExperiment(n=n, t=t, protocol="committee-ba-las-vegas",
+                                adversary="coin-attack", inputs="split"),
+            num_trials=trials, base_seed=100 + t,
+        )
+        chor_coan = run_trials(
+            AgreementExperiment(n=n, t=t, protocol="chor-coan-las-vegas",
+                                adversary="coin-attack", inputs="split"),
+            num_trials=trials, base_seed=100 + t,
+        )
+        phase_king_rounds: float | None = None
+        if 4 * t < n:
+            phase_king = run_trials(
+                AgreementExperiment(n=n, t=t, protocol="phase-king",
+                                    adversary="static", inputs="split"),
+                num_trials=1, base_seed=100 + t,
+            )
+            phase_king_rounds = phase_king.mean_rounds
+        rows.append(
+            {
+                "t": t,
+                "ours_rounds": ours.mean_rounds,
+                "chor_coan_rounds": chor_coan.mean_rounds,
+                "phase_king_rounds": phase_king_rounds,
+                "speedup_vs_cc": chor_coan.mean_rounds / ours.mean_rounds,
+                "analytic_ours": predicted_rounds(n, t),
+                "analytic_cc": predicted_rounds_chor_coan(n, t),
+            }
+        )
+    print(format_table(rows))
+    print()
+    print("Reading the table: the paper's protocol dominates Chor-Coan for the smaller")
+    print("fault bounds (larger committees make each coin much harder to attack) and the")
+    print("two coincide as t approaches n/3, exactly the shape Theorem 2 predicts.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,9 @@
+"""Thin shim so that editable installs work offline with older setuptools.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` in environments without the ``wheel``
+package (such as the offline CI image used for this reproduction).
+"""
+from setuptools import setup
+
+setup()

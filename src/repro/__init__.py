@@ -1,0 +1,69 @@
+"""repro — reproduction of *Improved Byzantine Agreement under an Adaptive Adversary*.
+
+This package implements, in pure Python, the protocol of Dufoulon &
+Pandurangan (PODC 2025) together with everything needed to evaluate it:
+
+* a synchronous, complete-network, CONGEST-accounted message-passing
+  simulator with an adaptive, rushing, full-information adversary interface
+  (:mod:`repro.simulator`, :mod:`repro.adversary`);
+* the paper's committee-based agreement protocol, its common-coin building
+  blocks and its Las Vegas variant (:mod:`repro.core`);
+* the baselines it is compared against — Chor–Coan, Rabin, Ben-Or,
+  phase king, EIG, sampling majority (:mod:`repro.baselines`);
+* analytic bounds, anti-concentration tools and statistics
+  (:mod:`repro.analysis`), and experiment reporting (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro import run_agreement
+
+    result = run_agreement(n=64, t=10, protocol="committee-ba",
+                           adversary="coin-attack", inputs="split", seed=1)
+    assert result.agreement
+    print(result.decision, result.rounds, result.message_count)
+"""
+
+from repro.core.runner import (
+    ADVERSARIES,
+    PROTOCOLS,
+    AgreementExperiment,
+    TrialsResult,
+    TrialSummary,
+    run_agreement,
+    run_trials,
+)
+from repro.core.parameters import ProtocolParameters, Regime, max_tolerable_t
+from repro.exceptions import (
+    AgreementViolationError,
+    BudgetExceededError,
+    ConfigurationError,
+    CongestViolationError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    ValidityViolationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_agreement",
+    "run_trials",
+    "AgreementExperiment",
+    "TrialsResult",
+    "TrialSummary",
+    "PROTOCOLS",
+    "ADVERSARIES",
+    "ProtocolParameters",
+    "Regime",
+    "max_tolerable_t",
+    "ReproError",
+    "ConfigurationError",
+    "BudgetExceededError",
+    "CongestViolationError",
+    "ProtocolViolationError",
+    "SimulationError",
+    "AgreementViolationError",
+    "ValidityViolationError",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Adversary framework.
+
+The paper's adversary is *adaptive*, *rushing* and *full-information*:
+
+* **adaptive** — it may decide which nodes to corrupt during the execution, as
+  a function of everything that has happened so far, up to a total budget of
+  ``t`` corruptions;
+* **rushing** — in every round it observes the messages (and hence the random
+  choices) of all currently honest nodes *before* choosing the messages the
+  corrupted nodes send in that same round;
+* **full-information** — it sees the complete internal state of every node and
+  is computationally unbounded; there are no private channels and no
+  cryptography.
+
+:class:`repro.adversary.base.Adversary` captures this interface, and the
+strategies under :mod:`repro.adversary.strategies` implement concrete attacks:
+vote-splitting equivocation, adaptive committee-coin biasing, committee budget
+allocation, adaptive crash scheduling, and simple noise/silence baselines.
+"""
+
+from repro.adversary.base import Adversary, AdversaryAction, AdversaryView, NullAdversary
+from repro.adversary.static import StaticAdversary
+from repro.adversary.adaptive import AdaptiveAdversary
+from repro.adversary.strategies.silence import SilentAdversary
+from repro.adversary.strategies.random_noise import RandomNoiseAdversary
+from repro.adversary.strategies.equivocate import EquivocatingAdversary
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.adversary.strategies.committee_targeting import CommitteeTargetingAdversary
+from repro.adversary.strategies.crash import AdaptiveCrashAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryAction",
+    "AdversaryView",
+    "NullAdversary",
+    "StaticAdversary",
+    "AdaptiveAdversary",
+    "SilentAdversary",
+    "RandomNoiseAdversary",
+    "EquivocatingAdversary",
+    "CoinAttackAdversary",
+    "CommitteeTargetingAdversary",
+    "AdaptiveCrashAdversary",
+]

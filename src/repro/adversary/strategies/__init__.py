@@ -1,0 +1,33 @@
+"""Concrete adversary strategies.
+
+* :mod:`silence` — corrupted nodes never send anything (crash-at-start).
+* :mod:`random_noise` — corrupted nodes send uniformly random garbage.
+* :mod:`equivocate` — adaptive vote-splitting: keep honest value counts below
+  the decision thresholds by sending different values to different nodes.
+* :mod:`coin_attack` — the strongest implemented attack: a rushing, adaptive
+  adversary that watches each phase's committee coin flips and spends just
+  enough corruptions to make different honest nodes observe different coin
+  values (the "straddle" attack the paper's anti-concentration argument is
+  designed to survive).
+* :mod:`committee_targeting` — a non-rushing variant that pre-corrupts members
+  of each upcoming committee before their flip round.
+* :mod:`crash` — adaptive *crash* faults in the spirit of the Bar-Joseph &
+  Ben-Or lower bound: nodes whose coin shares would help agreement crash in
+  the middle of their broadcast.
+"""
+
+from repro.adversary.strategies.silence import SilentAdversary
+from repro.adversary.strategies.random_noise import RandomNoiseAdversary
+from repro.adversary.strategies.equivocate import EquivocatingAdversary
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.adversary.strategies.committee_targeting import CommitteeTargetingAdversary
+from repro.adversary.strategies.crash import AdaptiveCrashAdversary
+
+__all__ = [
+    "SilentAdversary",
+    "RandomNoiseAdversary",
+    "EquivocatingAdversary",
+    "CoinAttackAdversary",
+    "CommitteeTargetingAdversary",
+    "AdaptiveCrashAdversary",
+]

@@ -1,0 +1,43 @@
+"""Silent (crash-at-start) adversary.
+
+Corrupts its targets in the very first round and has them send nothing for the
+rest of the execution.  Functionally this is ``t`` initially-crashed nodes —
+the weakest Byzantine behaviour — and serves as a sanity baseline: every
+protocol in the repository must reach agreement quickly against it, since the
+remaining ``n - t`` honest nodes interact with no interference at all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversary.adaptive import AdaptiveAdversary
+from repro.adversary.base import AdversaryAction, AdversaryView
+from repro.exceptions import ConfigurationError
+
+
+class SilentAdversary(AdaptiveAdversary):
+    """Corrupt a fixed set at round 0; corrupted nodes never speak again."""
+
+    strategy_name = "silent"
+
+    def __init__(self, t: int, targets: Sequence[int] | None = None, **kwargs):
+        super().__init__(t, **kwargs)
+        self._requested_targets = list(targets) if targets is not None else None
+
+    def bind(self, n: int, context) -> None:
+        super().bind(n, context)
+        if self._requested_targets is None:
+            self._targets = set(range(min(self.t, n)))
+        else:
+            if len(self._requested_targets) > self.t:
+                raise ConfigurationError(
+                    f"{len(self._requested_targets)} targets exceed the budget t={self.t}"
+                )
+            if any(not 0 <= v < n for v in self._requested_targets):
+                raise ConfigurationError("silent-adversary target ids out of range")
+            self._targets = set(self._requested_targets)
+
+    def act(self, view: AdversaryView) -> AdversaryAction:
+        new_corruptions = self._targets - view.corrupted
+        return AdversaryAction(new_corruptions=new_corruptions, messages=[])

@@ -1,0 +1,140 @@
+"""Anti-concentration analysis of the common coin (Lemma 1 and Theorem 3).
+
+The paper's common-coin guarantee rests on the Paley–Zygmund inequality
+applied to the square of the sum ``X`` of the honest nodes' ±1 flips:
+
+* ``E[X^2] = g`` and ``E[X^4] = 3g^2 - 2g`` for ``g`` honest flippers,
+* hence ``P(X > sqrt(n)/2) >= (1 - theta)^2 / 3`` with
+  ``theta = n / (4g)``, which is at least ``1/12`` once ``g >= n/2`` —
+  the constant appearing in the proof of Theorem 3.
+
+This module provides the inequality itself, the paper's closed-form lower
+bound, and *exact* binomial computations of the same quantities so the
+experiments (E2) can compare three layers: the conservative analytic bound,
+the exact probability, and the Monte-Carlo measurement under an actual
+adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+
+def paley_zygmund_bound(mean: float, second_moment: float, theta: float) -> float:
+    """The Paley–Zygmund inequality ``P(X > theta * E[X]) >= (1-theta)^2 E[X]^2 / E[X^2]``.
+
+    Args:
+        mean: ``E[X]`` of a non-negative random variable ``X``.
+        second_moment: ``E[X^2]``.
+        theta: Threshold parameter in ``[0, 1]``.
+
+    Returns:
+        The lower bound on ``P(X > theta * E[X])``.
+
+    Raises:
+        ValueError: If ``theta`` is outside ``[0, 1]``, the mean is negative,
+            or the second moment is not positive.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must lie in [0, 1], got {theta}")
+    if mean < 0:
+        raise ValueError(f"the Paley-Zygmund inequality needs X >= 0; E[X]={mean} < 0")
+    if second_moment <= 0:
+        raise ValueError(f"second moment must be positive, got {second_moment}")
+    return (1.0 - theta) ** 2 * mean * mean / second_moment
+
+
+def coin_success_lower_bound(n: int, g: int | None = None) -> float:
+    """Theorem 3's lower bound on ``P(X > sqrt(n)/2)`` for the honest-sum ``X``.
+
+    Args:
+        n: Total number of nodes (the adversary controls at most ``sqrt(n)/2``).
+        g: Number of honest flippers; defaults to ``n - floor(sqrt(n)/2)``.
+
+    Returns:
+        The paper's bound ``(1 - theta)^2 / 3`` with ``theta = n/(4g)``
+        (evaluating to at least ``1/12`` whenever ``g >= n/2``), applied to
+        ``X^2`` exactly as in the proof of Theorem 3.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if g is None:
+        g = n - int(0.5 * math.sqrt(n))
+    if g <= 0:
+        return 0.0
+    theta = n / (4.0 * g)
+    if theta >= 1.0:
+        return 0.0
+    # E[X^2] = g, E[X^4] = 3g^2 - 2g; PZ applied to X^2 gives
+    # (1-theta)^2 * g^2 / (3g^2 - 2g) >= (1-theta)^2 / 3.
+    fourth_moment = 3.0 * g * g - 2.0 * g
+    return paley_zygmund_bound(g, fourth_moment, theta) if fourth_moment > 0 else 0.0
+
+
+@lru_cache(maxsize=4096)
+def _binomial_pmf(k: int, g: int) -> float:
+    """P(exactly k of g fair ±1 flips are +1)."""
+    return math.comb(g, k) * 0.5**g
+
+
+def sum_exceeds_probability(g: int, threshold: float) -> float:
+    """Exact ``P(sum of g fair ±1 flips > threshold)``.
+
+    The sum equals ``2k - g`` where ``k ~ Binomial(g, 1/2)``; the probability
+    is computed exactly (no normal approximation), which is what the
+    common-coin experiment uses as the "exact" reference curve.
+    """
+    if g < 0:
+        raise ValueError(f"g must be non-negative, got {g}")
+    if g == 0:
+        return 0.0
+    min_k = math.floor((threshold + g) / 2) + 1
+    if min_k > g:
+        return 0.0
+    min_k = max(0, min_k)
+    total = sum(_binomial_pmf(k, g) for k in range(min_k, g + 1))
+    return min(1.0, max(0.0, total))
+
+
+def exact_common_coin_probability(k: int, byzantine: int) -> float:
+    """Exact lower bound on ``P(common coin)`` for Algorithm 2 with ``k`` designated nodes.
+
+    A rushing adversary controlling ``f`` of the ``k`` designated nodes (and
+    able to corrupt adaptively, i.e. the ``f`` worst-placed flippers) can make
+    two recipients disagree only if the honest sum has magnitude at most
+    ``f``.  The coin is therefore guaranteed common whenever
+    ``|sum of k - f honest flips| > f``; this returns that probability
+    exactly.  It is a lower bound because even straddleable sums sometimes end
+    up common when the adversary has other priorities.
+
+    Args:
+        k: Number of designated flippers.
+        byzantine: Number of designated nodes the adversary may control.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if byzantine < 0:
+        raise ValueError(f"byzantine must be non-negative, got {byzantine}")
+    honest = k - byzantine
+    if honest <= 0:
+        return 0.0
+    # P(|S| > f) = 2 * P(S > f) by symmetry (S has a symmetric distribution);
+    # clamp to guard against floating-point drift just above 1.
+    return min(1.0, 2.0 * sum_exceeds_probability(honest, float(byzantine)))
+
+
+def common_coin_bias_bound(k: int, byzantine: int) -> tuple[float, float]:
+    """Bounds on ``P(coin = 1 | common)`` for Algorithm 2 (Definition 2, part B).
+
+    By symmetry of the honest flips, conditioned on the coin being common each
+    outcome occurs with probability at least
+    ``P(S > f) / P(common) >= P(S > f)``; the returned pair is
+    ``(epsilon, 1 - epsilon)`` with ``epsilon = P(S > f) / (P(S>f) + P(S<-f) + slack)``
+    conservatively evaluated as ``P(S > f) / 1``.
+    """
+    honest = k - byzantine
+    if honest <= 0:
+        return (0.0, 1.0)
+    epsilon = sum_exceeds_probability(honest, float(byzantine))
+    return (epsilon, 1.0 - epsilon)

@@ -1,0 +1,154 @@
+"""Exponential Information Gathering (EIG) Byzantine agreement.
+
+The classical deterministic protocol of Pease, Shostak and Lamport, in the
+tree formulation of Bar-Noy/Dolev (the presentation in Lynch's *Distributed
+Algorithms*): ``t + 1`` rounds of relaying everything heard so far, followed
+by a purely local bottom-up majority resolution of the resulting information
+tree.  It tolerates the optimal ``t < n/3`` but its messages grow as
+``n^{t+1}``, so it is only runnable for very small networks — which is exactly
+the point the paper makes when contrasting deterministic protocols with
+polynomial-communication randomized ones.  The baseline-landscape experiment
+(E9) runs it at ``n <= 13, t <= 2`` to place the deterministic optimum on the
+same chart as the randomized protocols.
+
+The per-round relay obviously violates the CONGEST bandwidth budget; runs of
+this baseline therefore use non-strict CONGEST accounting and the violation
+count itself is reported as a result (it is the quantitative reason EIG does
+not scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.messages import Message, Payload, broadcast
+from repro.simulator.node import ProtocolNode
+
+#: Default value used for missing tree entries, as in the textbook treatment.
+DEFAULT_VALUE = 0
+
+
+@dataclass(frozen=True)
+class EIGReport(Payload):
+    """One round of relayed tree entries.
+
+    Attributes:
+        round_number: EIG round (1-based).
+        entries: Tuple of ``(path, value)`` pairs, where ``path`` is the tuple
+            of node ids the value passed through (not including the reporting
+            sender, which the recipient appends).
+    """
+
+    round_number: int
+    entries: tuple[tuple[tuple[int, ...], int], ...]
+
+    def bit_size(self) -> int:
+        # Each entry costs one id (32 bits) per path element plus the value bit.
+        return 32 + sum(32 * len(path) + 1 for path, _ in self.entries)
+
+
+class EIGNode(ProtocolNode):
+    """One participant of the EIG protocol (``t < n/3``, ``t + 1`` rounds)."""
+
+    protocol_name = "eig"
+
+    #: Guard rail: the tree has ~n^(t+1) nodes; beyond this many entries a
+    #: configuration is considered a mistake rather than an experiment.
+    MAX_TREE_ENTRIES = 200_000
+
+    def __init__(self, node_id: int, n: int, t: int, input_value: int, rng: np.random.Generator):
+        super().__init__(node_id, n, t, input_value, rng)
+        if 3 * t >= n:
+            raise ConfigurationError(f"EIG requires t < n/3; got n={n}, t={t}")
+        estimated = sum(n**level for level in range(1, t + 2))
+        if estimated > self.MAX_TREE_ENTRIES:
+            raise ConfigurationError(
+                f"EIG tree would hold ~{estimated} entries for n={n}, t={t}; "
+                "this baseline is only meant for very small networks"
+            )
+        #: path -> reported value.  The root (empty path) is our own input.
+        self.tree: dict[tuple[int, ...], int] = {(): input_value}
+
+    @property
+    def num_rounds(self) -> int:
+        return self.t + 1
+
+    # ------------------------------------------------------------------
+    def _level_entries(self, level: int) -> list[tuple[tuple[int, ...], int]]:
+        """Entries whose path has exactly ``level`` elements and excludes us."""
+        return [
+            (path, value)
+            for path, value in self.tree.items()
+            if len(path) == level and self.node_id not in path
+        ]
+
+    def generate(self, round_index: int) -> list[Message]:
+        round_number = round_index + 1
+        if round_number > self.num_rounds:
+            self.decide(self._resolve())
+            return []
+        payload = EIGReport(
+            round_number=round_number, entries=tuple(self._level_entries(round_number - 1))
+        )
+        return broadcast(self.node_id, self.n, payload, include_self=False)
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        round_number = round_index + 1
+        if round_number > self.num_rounds:
+            return
+        # Record our own relayed entries first (we trivially "hear" ourselves).
+        for path, value in self._level_entries(round_number - 1):
+            self.tree.setdefault(path + (self.node_id,), value)
+        seen: set[int] = set()
+        for message in inbox:
+            payload = message.payload
+            if not isinstance(payload, EIGReport) or payload.round_number != round_number:
+                continue
+            if message.sender in seen:
+                continue
+            seen.add(message.sender)
+            for path, value in payload.entries:
+                if len(path) != round_number - 1 or message.sender in path:
+                    continue
+                if value not in (0, 1):
+                    continue
+                self.tree.setdefault(tuple(path) + (message.sender,), value)
+        if round_number == self.num_rounds:
+            self.decide(self._resolve())
+
+    # ------------------------------------------------------------------
+    def _resolve(self) -> int:
+        """Bottom-up majority resolution of the information tree."""
+        cache: dict[tuple[int, ...], int] = {}
+
+        def resolve(path: tuple[int, ...]) -> int:
+            if path in cache:
+                return cache[path]
+            if len(path) == self.num_rounds:
+                result = self.tree.get(path, DEFAULT_VALUE)
+            else:
+                children = [
+                    resolve(path + (child,))
+                    for child in range(self.n)
+                    if child not in path
+                ]
+                if not children:
+                    result = self.tree.get(path, DEFAULT_VALUE)
+                else:
+                    ones = sum(children)
+                    result = 1 if 2 * ones > len(children) else 0
+            cache[path] = result
+            return result
+
+        # The standard decision: resolve every depth-1 subtree (one per peer)
+        # and take the majority, substituting our own input for our subtree.
+        votes = []
+        for peer in range(self.n):
+            if peer == self.node_id:
+                votes.append(self.input_value)
+            else:
+                votes.append(resolve((peer,)))
+        return 1 if 2 * sum(votes) > len(votes) else 0

@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Three subcommands cover the workflows a downstream user needs without writing
+Python:
+
+``run``
+    One agreement execution: pick a protocol, an adversary, a size and a seed,
+    get the outcome (decision, rounds, messages, corrupted nodes).
+
+``trials``
+    Repeat a configuration over many seeds and print the aggregate statistics
+    (mean/median/max rounds, agreement and validity rates).
+
+``experiment``
+    Regenerate one of the E1–E10 experiment tables (quick sweep by default,
+    ``--full`` for the EXPERIMENTS.md-scale sweep).
+
+Examples::
+
+    python -m repro run --n 64 --t 12 --adversary coin-attack --seed 7
+    python -m repro trials --n 64 --t 12 --trials 20 --protocol chor-coan-las-vegas
+    python -m repro experiment E1 --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.runner import (
+    ADVERSARIES,
+    INPUT_PATTERNS,
+    PROTOCOLS,
+    AgreementExperiment,
+    run_agreement,
+    run_trials,
+)
+from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
+from repro.metrics.reporting import format_table
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=64, help="number of nodes (default 64)")
+    parser.add_argument("--t", type=int, default=12,
+                        help="Byzantine budget, must satisfy t < n/3 (default 12)")
+    parser.add_argument("--protocol", choices=sorted(PROTOCOLS), default="committee-ba",
+                        help="protocol to run (default committee-ba)")
+    parser.add_argument("--adversary", choices=sorted(ADVERSARIES), default="coin-attack",
+                        help="adversary strategy (default coin-attack)")
+    parser.add_argument("--inputs", choices=list(INPUT_PATTERNS), default="split",
+                        help="input pattern (default split)")
+    parser.add_argument("--alpha", type=float, default=None,
+                        help="committee-count constant alpha (default: protocol default)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine agreement under an adaptive adversary — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a single agreement execution")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--trace", action="store_true",
+                            help="print the adaptive corruption schedule")
+
+    trials_parser = subparsers.add_parser("trials", help="run many seeds and aggregate")
+    _add_common_arguments(trials_parser)
+    trials_parser.add_argument("--trials", type=int, default=10,
+                               help="number of independent trials (default 10)")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the E1-E10 experiment tables"
+    )
+    experiment_parser.add_argument("experiment_id", metavar="ID",
+                                   help="experiment id, e.g. E1")
+    experiment_parser.add_argument("--full", action="store_true",
+                                   help="run the full sweep instead of the quick one")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_agreement(
+        n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
+        inputs=args.inputs, seed=args.seed, alpha=args.alpha, collect_trace=args.trace,
+    )
+    print(format_table([collect_run_metrics(result)]))
+    if args.trace and result.trace is not None:
+        schedule = result.trace.corruption_schedule()
+        if schedule:
+            print("\ncorruption schedule (round -> node):")
+            for round_index, node_id in schedule:
+                print(f"  {round_index:4d} -> {node_id}")
+        else:
+            print("\nno corruptions occurred")
+    return 0 if result.agreement and result.validity else 1
+
+
+def _command_trials(args: argparse.Namespace) -> int:
+    experiment = AgreementExperiment(
+        n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
+        inputs=args.inputs, alpha=args.alpha,
+    )
+    trials = run_trials(experiment, num_trials=args.trials, base_seed=args.seed)
+    print(format_table([collect_trials_metrics(trials)]))
+    return 0 if trials.agreement_rate == 1.0 else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    experiment_id = args.experiment_id.upper()
+    if experiment_id not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment_id!r}; "
+              f"available: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    report = ALL_EXPERIMENTS[experiment_id](quick=not args.full)
+    print(report.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "trials":
+        return _command_trials(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""Common coin protocols (Algorithm 1 and Algorithm 2 of the paper).
+
+Algorithm 1 — every node draws a uniform value in ``{-1, +1}``, broadcasts it,
+adds up everything it received (including its own value) and outputs ``1``
+when the sum is non-negative and ``0`` otherwise.  Theorem 3 shows this
+implements a common coin (Definition 2) whenever at most ``sqrt(n)/2`` nodes
+are Byzantine, *even against an adaptive rushing adversary* that sees the
+honest flips before corrupting: the Paley–Zygmund inequality gives
+``P(|sum of honest flips| > sqrt(n)/2) >= 1/6``, and an adversary controlling
+at most ``sqrt(n)/2`` nodes cannot change the sign of such a sum for any
+recipient.
+
+Algorithm 2 — identical, except that only a designated set ``V_d`` of ``k``
+nodes flips and broadcasts; everyone (designated or not) sums the shares
+received *from designated nodes only* and outputs the sign.  Corollary 1:
+this is a common coin when at most ``sqrt(k)/2`` of the designated nodes are
+Byzantine.
+
+Both are provided in two forms:
+
+* standalone :class:`ProtocolNode` subclasses (:class:`CoinFlipNode`,
+  :class:`DesignatedCoinFlipNode`) used by the common-coin experiments (E2)
+  and the unit tests of Theorem 3;
+* the pure helper :func:`coin_from_shares`, reused inside Algorithm 3 where
+  the coin flip is piggybacked on the phase's second broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.messages import CoinShare, Message, broadcast
+from repro.simulator.node import ProtocolNode
+from repro.simulator.rng import fair_sign
+
+
+def coin_from_shares(
+    shares: Mapping[int, int],
+    designated: Iterable[int] | None = None,
+) -> int:
+    """Combine coin shares into a coin value using the paper's majority rule.
+
+    Args:
+        shares: Mapping from sender id to the share (+1/-1) received from that
+            sender.  At most one share per sender is counted (the simulator's
+            inbox handling already de-duplicates).
+        designated: When given, only shares from these senders are counted
+            (Algorithm 2); otherwise every share counts (Algorithm 1).
+
+    Returns:
+        ``1`` when the sum of counted shares is ``>= 0``, else ``0``.
+    """
+    if designated is None:
+        total = sum(shares.values())
+    else:
+        allowed = set(designated)
+        total = sum(value for sender, value in shares.items() if sender in allowed)
+    return 1 if total >= 0 else 0
+
+
+def shares_from_inbox(inbox: Sequence[Message], phase: int | None = None) -> dict[int, int]:
+    """Extract one coin share per sender from an inbox.
+
+    Byzantine senders may send several (contradictory) shares to the same
+    recipient; only the first share per sender is counted, mirroring what an
+    honest node reading one message per link per round would see.  Shares
+    whose value is not in ``{-1, +1}`` are ignored (an honest node discards
+    malformed messages).
+
+    Args:
+        inbox: Messages received this round.
+        phase: When given, only shares tagged with this phase are considered.
+    """
+    shares: dict[int, int] = {}
+    for message in inbox:
+        payload = message.payload
+        if not isinstance(payload, CoinShare):
+            continue
+        if phase is not None and payload.phase != phase:
+            continue
+        if payload.share not in (-1, 1):
+            continue
+        if message.sender not in shares:
+            shares[message.sender] = payload.share
+    return shares
+
+
+class CoinFlipNode(ProtocolNode):
+    """Algorithm 1: the single-round all-node coin-flipping protocol.
+
+    Every node flips, broadcasts, sums what it receives and decides the sign.
+    The node's ``output`` is its coin value; running a network of these nodes
+    under an adversary measures the common-coin success probability studied in
+    Theorem 3.
+
+    The node's binary *input* is irrelevant to the coin; it is accepted only to
+    satisfy the :class:`ProtocolNode` interface.
+    """
+
+    protocol_name = "coin-flip"
+
+    def __init__(self, node_id: int, n: int, t: int, input_value: int, rng: np.random.Generator):
+        super().__init__(node_id, n, t, input_value, rng)
+        self.my_share: int | None = None
+
+    def generate(self, round_index: int) -> list[Message]:
+        self.my_share = fair_sign(self.rng)
+        return broadcast(self.node_id, self.n, CoinShare(phase=0, share=self.my_share))
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        shares = shares_from_inbox(inbox, phase=0)
+        self.value = coin_from_shares(shares)
+        self.decide(self.value)
+
+
+class DesignatedCoinFlipNode(ProtocolNode):
+    """Algorithm 2: coin flipping with a designated set of flippers.
+
+    Args:
+        designated: The set ``V_d`` of node ids allowed to contribute shares.
+            Must be common knowledge — every node is constructed with the same
+            set.
+
+    Only designated nodes broadcast; every node outputs the sign of the sum of
+    shares received from designated senders.  Corollary 1: a common coin when
+    at most ``sqrt(|V_d|)/2`` designated nodes are Byzantine.
+    """
+
+    protocol_name = "designated-coin-flip"
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        t: int,
+        input_value: int,
+        rng: np.random.Generator,
+        *,
+        designated: Iterable[int],
+    ):
+        super().__init__(node_id, n, t, input_value, rng)
+        self.designated = frozenset(designated)
+        if not self.designated:
+            raise ConfigurationError("the designated set must contain at least one node")
+        if any(not 0 <= d < n for d in self.designated):
+            raise ConfigurationError("designated set contains out-of-range node ids")
+        self.my_share: int | None = None
+
+    def generate(self, round_index: int) -> list[Message]:
+        if self.node_id not in self.designated:
+            return []
+        self.my_share = fair_sign(self.rng)
+        return broadcast(self.node_id, self.n, CoinShare(phase=0, share=self.my_share))
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        shares = shares_from_inbox(inbox, phase=0)
+        self.value = coin_from_shares(shares, designated=self.designated)
+        self.decide(self.value)
+
+
+@dataclass(frozen=True)
+class CoinRunOutcome:
+    """Result of a single common-coin execution.
+
+    Attributes:
+        outputs: Honest node id -> coin value output by that node.
+        common: True when every honest node output the same value.
+        value: The common value when ``common`` is True, else ``None``.
+        corrupted: The nodes corrupted during the (single-round) execution.
+    """
+
+    outputs: dict[int, int]
+    corrupted: frozenset[int]
+
+    @property
+    def common(self) -> bool:
+        return len(set(self.outputs.values())) <= 1
+
+    @property
+    def value(self) -> int | None:
+        values = set(self.outputs.values())
+        return next(iter(values)) if len(values) == 1 else None
+
+
+def run_common_coin(
+    n: int,
+    adversary,
+    *,
+    seed: int = 0,
+    designated: Iterable[int] | None = None,
+) -> CoinRunOutcome:
+    """Run one execution of Algorithm 1 (or Algorithm 2) under an adversary.
+
+    Args:
+        n: Network size.
+        adversary: Any :class:`repro.adversary.base.Adversary`.  Its budget is
+            the number of nodes it may corrupt during the single round.
+        seed: Run seed.
+        designated: When given, runs Algorithm 2 with this designated set;
+            otherwise Algorithm 1.
+
+    Returns:
+        The per-node coin outputs and whether they were common.
+    """
+    # Imported here to avoid a circular import at package load time.
+    from repro.simulator.rng import RandomnessSource
+    from repro.simulator.scheduler import SynchronousScheduler
+
+    randomness = RandomnessSource(seed)
+    nodes: list[ProtocolNode] = []
+    for node_id in range(n):
+        rng = randomness.node_stream(node_id)
+        if designated is None:
+            nodes.append(CoinFlipNode(node_id, n, adversary.t, 0, rng))
+        else:
+            nodes.append(
+                DesignatedCoinFlipNode(node_id, n, adversary.t, 0, rng, designated=designated)
+            )
+    context = {"designated": sorted(designated) if designated is not None else list(range(n))}
+    scheduler = SynchronousScheduler(nodes, adversary, context=context, max_rounds=4)
+    result = scheduler.run()
+    return CoinRunOutcome(outputs=result.outputs, corrupted=frozenset(result.corrupted))

@@ -1,0 +1,35 @@
+"""Las Vegas variant of Algorithm 3 (Section 3.2, closing remark).
+
+The paper notes that Algorithm 3 can be turned into a Las Vegas protocol —
+Byzantine agreement is *always* reached, in
+``O(min{t^2 log n / n, t / log n})`` *expected* rounds — by letting the
+protocol keep iterating through the committees (wrapping around after the
+``c``-th committee) instead of stopping after ``c`` phases; the early
+termination mechanism (the ``Finish`` flag) then guarantees eventual
+termination.
+
+:class:`LasVegasAgreementNode` implements exactly that: it reuses all of
+Algorithm 3's phase logic but never decides "by exhaustion" — the only way to
+terminate is through the ``n - t`` ``decided`` threshold (case 1).  Because the
+adversary's corruption budget is finite, once the budget is exhausted a good
+phase occurs within a constant expected number of phases, so termination is
+guaranteed with probability 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import CommitteeAgreementNode
+
+
+class LasVegasAgreementNode(CommitteeAgreementNode):
+    """Algorithm 3 without the phase cap: run until the Finish flag fires.
+
+    The committee schedule cycles: phase ``i`` uses committee
+    ``(i - 1) mod num_committees``, exactly as in the parent class, so no new
+    scheduling logic is needed — only the exhaustion check is disabled.
+    """
+
+    protocol_name = "committee-ba-las-vegas"
+
+    def _exhausted(self, phase: int) -> bool:
+        return False

@@ -1,0 +1,431 @@
+"""High-level execution API.
+
+This module is the front door used by the examples, tests and benchmarks:
+
+* :func:`run_agreement` — run one execution of any protocol in the repository
+  against any adversary strategy and return the detailed
+  :class:`repro.simulator.scheduler.RunResult`;
+* :func:`run_trials` — repeat an experiment over many seeds and aggregate
+  rounds / messages / agreement statistics;
+* :class:`AgreementExperiment` — a declarative description of a single
+  experimental configuration (protocol, adversary, inputs, parameters), which
+  the benchmark harness sweeps over.
+
+Protocols and adversaries are referred to by short names (see
+:data:`PROTOCOLS` and :data:`ADVERSARIES`) so that experiment configurations
+are plain data.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.adversary.base import Adversary, NullAdversary
+from repro.adversary.static import StaticAdversary
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.adversary.strategies.committee_targeting import CommitteeTargetingAdversary
+from repro.adversary.strategies.crash import AdaptiveCrashAdversary
+from repro.adversary.strategies.equivocate import EquivocatingAdversary
+from repro.adversary.strategies.random_noise import RandomNoiseAdversary
+from repro.adversary.strategies.silence import SilentAdversary
+from repro.baselines.ben_or import BenOrNode
+from repro.baselines.chor_coan import ChorCoanLasVegasNode, ChorCoanNode, chor_coan_parameters
+from repro.baselines.eig import EIGNode
+from repro.baselines.phase_king import PhaseKingNode
+from repro.baselines.rabin import RabinDealerNode
+from repro.baselines.sampling_majority import SamplingMajorityNode
+from repro.core.agreement import CommitteeAgreementNode
+from repro.core.committee import CommitteePartition
+from repro.core.las_vegas import LasVegasAgreementNode
+from repro.core.parameters import ProtocolParameters, log2n, validate_n_t
+from repro.exceptions import ConfigurationError
+from repro.simulator.node import ProtocolNode
+from repro.simulator.rng import RandomnessSource, random_inputs, split_inputs, unanimous_inputs
+from repro.simulator.scheduler import RunResult, SynchronousScheduler
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+#: Node classes that reuse the two-round committee-phase skeleton; they share
+#: the same context (parameters + partition) handed to the adversary.
+_COMMITTEE_FAMILY = {
+    "committee-ba": CommitteeAgreementNode,
+    "committee-ba-las-vegas": LasVegasAgreementNode,
+    "chor-coan": ChorCoanNode,
+    "chor-coan-las-vegas": ChorCoanLasVegasNode,
+    "rabin": RabinDealerNode,
+    "ben-or": BenOrNode,
+}
+
+#: All runnable protocols.
+PROTOCOLS: dict[str, type[ProtocolNode]] = {
+    **_COMMITTEE_FAMILY,
+    "phase-king": PhaseKingNode,
+    "eig": EIGNode,
+    "sampling-majority": SamplingMajorityNode,
+}
+
+#: All adversary strategies, by short name.
+ADVERSARIES: dict[str, Callable[..., Adversary]] = {
+    "null": NullAdversary,
+    "static": StaticAdversary,
+    "silent": SilentAdversary,
+    "random-noise": RandomNoiseAdversary,
+    "equivocate": EquivocatingAdversary,
+    "coin-attack": CoinAttackAdversary,
+    "committee-targeting": CommitteeTargetingAdversary,
+    "crash": AdaptiveCrashAdversary,
+}
+
+#: Input-pattern names accepted by :func:`build_inputs`.
+INPUT_PATTERNS = ("split", "random", "unanimous-0", "unanimous-1")
+
+
+def build_inputs(n: int, pattern: str | Sequence[int], randomness: RandomnessSource) -> list[int]:
+    """Materialise an input assignment from a pattern name or an explicit list.
+
+    Patterns:
+        ``"split"`` — first half 0, second half 1 (the hardest honest input);
+        ``"random"`` — i.i.d. uniform bits from the environment stream;
+        ``"unanimous-0"`` / ``"unanimous-1"`` — all nodes share the value.
+    """
+    if not isinstance(pattern, str):
+        inputs = [int(b) for b in pattern]
+        if len(inputs) != n or any(b not in (0, 1) for b in inputs):
+            raise ConfigurationError("explicit inputs must be n binary values")
+        return inputs
+    if pattern == "split":
+        return split_inputs(n)
+    if pattern == "random":
+        return random_inputs(n, randomness.environment_stream())
+    if pattern == "unanimous-0":
+        return unanimous_inputs(n, 0)
+    if pattern == "unanimous-1":
+        return unanimous_inputs(n, 1)
+    raise ConfigurationError(f"unknown input pattern {pattern!r}; expected one of {INPUT_PATTERNS}")
+
+
+def default_max_rounds(protocol: str, n: int, t: int) -> int:
+    """A generous round cap for the given protocol.
+
+    The committee protocols finish within their phase schedule; the Las Vegas
+    variants are delayed by at most one phase per corruption the adversary
+    spends plus a logarithmic number of un-spoiled phases, so a cap of
+    ``2 * (t + O(log n))`` phases covers every implemented adversary with a
+    wide margin.  Ben-Or and sampling-majority get larger caps because their
+    convergence is not budget-bounded.
+    """
+    log_n = log2n(n)
+    if protocol in ("committee-ba", "chor-coan", "rabin"):
+        params = _protocol_parameters(protocol, n, t, {})
+        return 2 * (params.num_phases + 2) + 4
+    if protocol in ("committee-ba-las-vegas", "chor-coan-las-vegas"):
+        return 2 * (2 * t + 40 * int(log_n) + 60)
+    if protocol == "ben-or":
+        return 2 * (2 * t + 60 * int(log_n) + 200)
+    if protocol == "phase-king":
+        return 2 * (t + 2)
+    if protocol == "eig":
+        return t + 3
+    if protocol == "sampling-majority":
+        return 2 * (math.ceil(2.0 * log_n * log_n) + 2)
+    return 20 * n + 100
+
+
+def _protocol_parameters(protocol: str, n: int, t: int, kwargs: dict[str, Any]) -> ProtocolParameters:
+    """Committee geometry for the committee-family protocols."""
+    alpha = kwargs.get("alpha", 4.0)
+    if protocol in ("committee-ba", "committee-ba-las-vegas"):
+        return ProtocolParameters.derive(n, t, alpha)
+    if protocol in ("chor-coan", "chor-coan-las-vegas"):
+        return chor_coan_parameters(
+            n, t, alpha=alpha, group_size_factor=kwargs.get("group_size_factor", 1.0)
+        )
+    if protocol in ("rabin", "ben-or"):
+        from repro.baselines.rabin import rabin_parameters
+
+        return rabin_parameters(n, t, phases_factor=kwargs.get("phases_factor", 4.0))
+    raise ConfigurationError(f"protocol {protocol!r} does not use committee parameters")
+
+
+def _build_nodes(
+    protocol: str,
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    randomness: RandomnessSource,
+    protocol_kwargs: dict[str, Any],
+) -> tuple[list[ProtocolNode], dict[str, Any]]:
+    """Construct the per-node protocol instances and the adversary context."""
+    if protocol not in PROTOCOLS:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
+        )
+    node_class = PROTOCOLS[protocol]
+    context: dict[str, Any] = {"protocol": protocol, "n": n, "t": t}
+    nodes: list[ProtocolNode] = []
+
+    if protocol in _COMMITTEE_FAMILY:
+        params = _protocol_parameters(protocol, n, t, protocol_kwargs)
+        partition = CommitteePartition(n, params.committee_size)
+        context["params"] = params
+        context["partition"] = partition
+        extra = dict(protocol_kwargs)
+        extra.pop("alpha", None)
+        extra.pop("group_size_factor", None)
+        extra.pop("phases_factor", None)
+        if protocol == "rabin":
+            # All nodes must share the dealer's public coin stream.
+            extra.setdefault("dealer_seed", randomness.seed)
+        for node_id in range(n):
+            nodes.append(
+                node_class(
+                    node_id, n, t, inputs[node_id], randomness.node_stream(node_id),
+                    params=params, **extra,
+                )
+            )
+    else:
+        for node_id in range(n):
+            nodes.append(
+                node_class(
+                    node_id, n, t, inputs[node_id], randomness.node_stream(node_id),
+                    **protocol_kwargs,
+                )
+            )
+    return nodes, context
+
+
+def _build_adversary(
+    adversary: str | Adversary, t: int, randomness: RandomnessSource, adversary_kwargs: dict[str, Any]
+) -> Adversary:
+    if isinstance(adversary, Adversary):
+        adversary.reset()
+        return adversary
+    if adversary not in ADVERSARIES:
+        raise ConfigurationError(
+            f"unknown adversary {adversary!r}; available: {sorted(ADVERSARIES)}"
+        )
+    factory = ADVERSARIES[adversary]
+    kwargs = dict(adversary_kwargs)
+    kwargs.setdefault("rng", randomness.adversary_stream())
+    return factory(t, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Single runs
+# ----------------------------------------------------------------------
+def run_agreement(
+    n: int,
+    t: int,
+    *,
+    protocol: str = "committee-ba",
+    adversary: str | Adversary = "null",
+    inputs: str | Sequence[int] = "split",
+    seed: int = 0,
+    alpha: float | None = None,
+    max_rounds: int | None = None,
+    collect_trace: bool = False,
+    allow_timeout: bool = False,
+    strict_congest: bool = False,
+    protocol_kwargs: dict[str, Any] | None = None,
+    adversary_kwargs: dict[str, Any] | None = None,
+) -> RunResult:
+    """Run one Byzantine agreement execution.
+
+    Args:
+        n: Number of nodes.
+        t: Byzantine budget handed to the adversary and declared to the
+            protocol (``t < n/3``; tighter limits apply to some baselines).
+        protocol: Protocol name (see :data:`PROTOCOLS`).
+        adversary: Adversary name (see :data:`ADVERSARIES`) or a pre-built
+            :class:`Adversary` instance.
+        inputs: Input pattern name or an explicit list of ``n`` bits.
+        seed: Master seed; runs are reproducible from ``(seed, configuration)``.
+        alpha: Committee-count constant for the committee-family protocols.
+        max_rounds: Round cap; defaults to a per-protocol generous bound.
+        collect_trace: Record a per-round execution trace on the result.
+        allow_timeout: Return (rather than raise) when the cap is hit.
+        strict_congest: Raise on CONGEST per-edge budget violations.
+        protocol_kwargs / adversary_kwargs: Extra constructor arguments.
+
+    Returns:
+        The :class:`RunResult`, whose ``agreement`` / ``validity`` properties
+        evaluate Definition 1 and whose counters feed the metrics layer.
+    """
+    validate_n_t(n, t)
+    protocol_kwargs = dict(protocol_kwargs or {})
+    if alpha is not None:
+        protocol_kwargs["alpha"] = alpha
+    adversary_kwargs = dict(adversary_kwargs or {})
+
+    randomness = RandomnessSource(seed)
+    inputs_list = build_inputs(n, inputs, randomness)
+    nodes, context = _build_nodes(protocol, n, t, inputs_list, randomness, protocol_kwargs)
+    adversary_instance = _build_adversary(adversary, t, randomness, adversary_kwargs)
+
+    scheduler = SynchronousScheduler(
+        nodes,
+        adversary_instance,
+        max_rounds=max_rounds if max_rounds is not None else default_max_rounds(protocol, n, t),
+        context=context,
+        collect_trace=collect_trace,
+        strict_congest=strict_congest,
+        allow_timeout=allow_timeout,
+    )
+    result = scheduler.run()
+    result.extra["phases"] = math.ceil(result.rounds / 2)
+    result.extra["params"] = context.get("params")
+    result.extra["adversary"] = adversary_instance
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-trial experiments
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AgreementExperiment:
+    """Declarative description of one experimental configuration."""
+
+    n: int
+    t: int
+    protocol: str = "committee-ba"
+    adversary: str = "coin-attack"
+    inputs: str = "split"
+    alpha: float | None = None
+    max_rounds: int | None = None
+    allow_timeout: bool = False
+    protocol_kwargs: dict[str, Any] = field(default_factory=dict)
+    adversary_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        return f"{self.protocol}/{self.adversary}/n={self.n}/t={self.t}"
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Per-trial scalars kept by :func:`run_trials`."""
+
+    seed: int
+    rounds: int
+    phases: int
+    agreement: bool
+    validity: bool
+    decision: int | None
+    messages: int
+    bits: int
+    corrupted: int
+    timed_out: bool
+
+
+@dataclass
+class TrialsResult:
+    """Aggregate of many trials of the same experiment."""
+
+    experiment: AgreementExperiment
+    trials: list[TrialSummary]
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def mean_rounds(self) -> float:
+        return statistics.fmean(trial.rounds for trial in self.trials)
+
+    @property
+    def median_rounds(self) -> float:
+        return float(statistics.median(trial.rounds for trial in self.trials))
+
+    @property
+    def max_rounds(self) -> int:
+        return max(trial.rounds for trial in self.trials)
+
+    @property
+    def mean_phases(self) -> float:
+        return statistics.fmean(trial.phases for trial in self.trials)
+
+    @property
+    def mean_messages(self) -> float:
+        return statistics.fmean(trial.messages for trial in self.trials)
+
+    @property
+    def mean_bits(self) -> float:
+        return statistics.fmean(trial.bits for trial in self.trials)
+
+    @property
+    def agreement_rate(self) -> float:
+        return sum(trial.agreement for trial in self.trials) / self.num_trials
+
+    @property
+    def validity_rate(self) -> float:
+        return sum(trial.validity for trial in self.trials) / self.num_trials
+
+    @property
+    def timeout_rate(self) -> float:
+        return sum(trial.timed_out for trial in self.trials) / self.num_trials
+
+    @property
+    def mean_corrupted(self) -> float:
+        return statistics.fmean(trial.corrupted for trial in self.trials)
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary used by the reporting layer."""
+        return {
+            "trials": float(self.num_trials),
+            "mean_rounds": self.mean_rounds,
+            "median_rounds": self.median_rounds,
+            "max_rounds": float(self.max_rounds),
+            "mean_phases": self.mean_phases,
+            "mean_messages": self.mean_messages,
+            "mean_bits": self.mean_bits,
+            "agreement_rate": self.agreement_rate,
+            "validity_rate": self.validity_rate,
+            "timeout_rate": self.timeout_rate,
+            "mean_corrupted": self.mean_corrupted,
+        }
+
+
+def run_trials(
+    experiment: AgreementExperiment, num_trials: int = 10, *, base_seed: int = 0
+) -> TrialsResult:
+    """Run ``num_trials`` independent executions of ``experiment``.
+
+    Trial ``k`` uses master seed ``base_seed + k``, so sweeps are reproducible
+    and trivially parallelisable by seed range.
+    """
+    if num_trials < 1:
+        raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
+    trials: list[TrialSummary] = []
+    for k in range(num_trials):
+        seed = base_seed + k
+        result = run_agreement(
+            experiment.n,
+            experiment.t,
+            protocol=experiment.protocol,
+            adversary=experiment.adversary,
+            inputs=experiment.inputs,
+            seed=seed,
+            alpha=experiment.alpha,
+            max_rounds=experiment.max_rounds,
+            allow_timeout=experiment.allow_timeout,
+            protocol_kwargs=experiment.protocol_kwargs,
+            adversary_kwargs=experiment.adversary_kwargs,
+        )
+        trials.append(
+            TrialSummary(
+                seed=seed,
+                rounds=result.rounds,
+                phases=int(result.extra.get("phases", 0)),
+                agreement=result.agreement,
+                validity=result.validity,
+                decision=result.decision,
+                messages=result.message_count,
+                bits=result.bit_count,
+                corrupted=len(result.corrupted),
+                timed_out=result.timed_out,
+            )
+        )
+    return TrialsResult(experiment=experiment, trials=trials)

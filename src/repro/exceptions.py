@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers can
+catch library-specific failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a protocol, adversary or simulation is mis-configured.
+
+    Examples include asking for ``t >= n/3`` Byzantine nodes, a non-positive
+    network size, or a committee partition that does not cover all nodes.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an adversary attempts to corrupt more than its budget allows."""
+
+
+class CongestViolationError(ReproError):
+    """Raised when a protocol exceeds the per-edge CONGEST bandwidth budget.
+
+    The CONGEST model allows only ``O(log n)`` bits per edge per round.  The
+    simulator tracks the number of bits sent across every (sender, recipient)
+    pair in every round and raises this error when the configured budget is
+    exceeded (see :class:`repro.simulator.congest.CongestModel`).
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """Raised when an honest protocol node behaves outside its specification.
+
+    This is an internal sanity check: honest nodes must never send malformed
+    messages, send after terminating, or output ``None`` after deciding.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress.
+
+    The most common cause is a run that exceeds its configured maximum number
+    of rounds without every honest node terminating.
+    """
+
+
+class AgreementViolationError(ReproError):
+    """Raised by validators when the agreement property is violated.
+
+    Agreement requires every honest node to output the same value.  The
+    simulator never silently accepts an execution that breaks agreement when a
+    validator is installed; this error carries the differing outputs so that
+    tests and experiments can report exactly which nodes disagreed.
+    """
+
+    def __init__(self, outputs: dict[int, int]):
+        self.outputs = dict(outputs)
+        super().__init__(f"honest nodes disagreed: distinct outputs {sorted(set(outputs.values()))}")
+
+
+class ValidityViolationError(ReproError):
+    """Raised by validators when the validity property is violated.
+
+    Validity requires that if all honest nodes share the same input ``b`` then
+    every honest node outputs ``b``.
+    """
+
+    def __init__(self, expected: int, outputs: dict[int, int]):
+        self.expected = expected
+        self.outputs = dict(outputs)
+        bad = {node: value for node, value in outputs.items() if value != expected}
+        super().__init__(
+            f"validity violated: unanimous honest input {expected} but "
+            f"{len(bad)} honest node(s) output a different value"
+        )

@@ -1,0 +1,43 @@
+"""Experiment definitions (E1–E10).
+
+Each module reproduces one quantitative claim of the paper and exposes a
+single entry point::
+
+    run(quick: bool = True) -> repro.metrics.reporting.ExperimentReport
+
+``quick=True`` uses reduced network sizes / trial counts so the whole suite
+runs in a couple of minutes (this is what the pytest benchmarks and the test
+suite use); ``quick=False`` uses the full sweep recorded in EXPERIMENTS.md.
+
+The experiment ids, the claims they reproduce, the workloads and the module
+mapping are catalogued in DESIGN.md ("Experiment index"); EXPERIMENTS.md
+records paper-claim versus measured outcome for each of them.
+"""
+
+from repro.experiments import (
+    e1_round_complexity,
+    e2_common_coin,
+    e3_early_termination,
+    e4_message_complexity,
+    e5_crossover,
+    e6_resilience,
+    e7_lower_bound_gap,
+    e8_las_vegas,
+    e9_baselines,
+    e10_ablation_alpha,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e1_round_complexity.run,
+    "E2": e2_common_coin.run,
+    "E3": e3_early_termination.run,
+    "E4": e4_message_complexity.run,
+    "E5": e5_crossover.run,
+    "E6": e6_resilience.run,
+    "E7": e7_lower_bound_gap.run,
+    "E8": e8_las_vegas.run,
+    "E9": e9_baselines.run,
+    "E10": e10_ablation_alpha.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,85 @@
+"""E2 — Common coin success probability (Theorem 3 / Corollary 1).
+
+Paper claim
+-----------
+Algorithm 1 implements a common coin (all honest nodes output the same bit
+with probability at least a constant — the proof gives 1/12 — and the bit is
+bounded away from 0 and 1) for up to ``sqrt(n)/2`` Byzantine nodes, even
+against an adaptive rushing adversary that sees the flips before corrupting.
+Corollary 1 transfers the statement to ``k`` designated flippers with at most
+``sqrt(k)/2`` Byzantine among them.
+
+Experiment
+----------
+Monte-Carlo estimate of ``P(common)`` and of the conditional bias under the
+rushing straddle attack, as a function of the number of flippers, with the
+Byzantine budget set to ``floor(sqrt(k)/2)``.  Three reference columns:
+the paper's Paley–Zygmund bound (1/12-style), the exact anti-concentration
+probability, and the measured rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.analysis.paley_zygmund import (
+    coin_success_lower_bound,
+    exact_common_coin_probability,
+    sum_exceeds_probability,
+)
+from repro.analysis.statistics import success_rate
+from repro.core.common_coin import run_common_coin
+from repro.metrics.reporting import ExperimentReport
+
+QUICK_SWEEP = ([9, 16, 36, 64], 60)
+FULL_SWEEP = ([16, 36, 64, 144, 256], 150)
+
+
+def run(quick: bool = True) -> ExperimentReport:
+    """Run the E2 Monte-Carlo estimate and return the report."""
+    sizes, trials = QUICK_SWEEP if quick else FULL_SWEEP
+    report = ExperimentReport(
+        experiment_id="E2",
+        title="Common coin success probability under the adaptive rushing straddle attack",
+        columns=[
+            "n", "byzantine_budget", "trials", "measured_common", "ci_low", "ci_high",
+            "exact_adaptive", "exact_static", "paper_bound", "p_one_given_common",
+        ],
+    )
+    report.add_note("budget = floor(sqrt(n)/2)  (Theorem 3's tolerance)")
+    report.add_note(
+        "paper_bound = Paley-Zygmund constant (>= 1/12); "
+        "exact_adaptive = P(|sum of n flips| > 2*budget), the guaranteed-common probability "
+        "against adaptive corruption; exact_static = the same for a statically corrupted set"
+    )
+    for n in sizes:
+        budget = int(math.floor(0.5 * math.sqrt(n)))
+        common = 0
+        ones = 0
+        for seed in range(trials):
+            outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=seed)
+            if outcome.common:
+                common += 1
+                ones += outcome.value or 0
+        estimate = success_rate(common, trials)
+        report.add_row(
+            {
+                "n": n,
+                "byzantine_budget": budget,
+                "trials": trials,
+                "measured_common": estimate.rate,
+                "ci_low": estimate.low,
+                "ci_high": estimate.high,
+                # An adaptive rushing adversary with budget f can split the
+                # coin only when the magnitude of the full honest sum is at
+                # most ~2f (it corrupts same-sign flippers, shrinking the sum
+                # and gaining control simultaneously), so P(|S_n| > 2f) is the
+                # guaranteed-common probability against it.
+                "exact_adaptive": min(1.0, 2.0 * sum_exceeds_probability(n, 2.0 * budget)),
+                "exact_static": exact_common_coin_probability(n, budget),
+                "paper_bound": coin_success_lower_bound(n),
+                "p_one_given_common": ones / common if common else float("nan"),
+            }
+        )
+    return report

@@ -1,0 +1,74 @@
+"""E7 — Distance to the Bar-Joseph & Ben-Or lower bound (Theorem 1, Section 4).
+
+Paper claim
+-----------
+The protocol's round complexity approaches the ``Omega(t / sqrt(n log n))``
+lower bound of Bar-Joseph & Ben-Or when ``t`` approaches ``sqrt(n)``; at
+``t = sqrt(n)`` it is optimal up to logarithmic factors.
+
+Experiment
+----------
+For several ``n`` we set ``t = floor(sqrt(n))`` and compare: the measured
+rounds of Algorithm 3 under (a) the Byzantine straddle attack and (b) the
+adaptive *crash* attack (the fault model of the lower bound), against the
+analytic lower-bound curve and the paper's upper bound.  The reported gap is
+measured rounds divided by the analytic lower bound; the claim is that it
+grows only polylogarithmically in ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import lower_bound_bar_joseph_ben_or, predicted_rounds
+from repro.core.runner import AgreementExperiment, run_trials
+from repro.metrics.reporting import ExperimentReport
+from repro.simulator.vectorized import run_vectorized_trials
+
+QUICK_CONFIG = ([64, 144, 256], 6, 36)
+FULL_CONFIG = ([256, 576, 1024, 2304, 4096], 15, 64)
+
+
+def run(quick: bool = True) -> ExperimentReport:
+    """Run the E7 gap study and return the report."""
+    sizes, trials, crash_n_cap = QUICK_CONFIG if quick else FULL_CONFIG
+    report = ExperimentReport(
+        experiment_id="E7",
+        title="Gap to the Bar-Joseph & Ben-Or lower bound at t = sqrt(n)",
+        columns=["n", "t", "measured_rounds", "crash_rounds", "lower_bound",
+                 "upper_bound", "gap_measured_vs_lb", "polylog_budget"],
+    )
+    report.add_note("t = floor(sqrt(n)); adversary = straddle (Byzantine) and adaptive crash")
+    report.add_note("polylog_budget = log2(n)^2, the allowance within which the gap should stay")
+    for n in sizes:
+        t = int(math.isqrt(n))
+        byzantine = run_vectorized_trials(
+            n, t, protocol="committee-ba-las-vegas", adversary="straddle",
+            inputs="split", trials=trials, seed=7000 + n,
+        )
+        crash_rounds = None
+        if n <= crash_n_cap:
+            crash = run_trials(
+                AgreementExperiment(
+                    n=n, t=t, protocol="committee-ba-las-vegas", adversary="crash",
+                    inputs="split",
+                ),
+                num_trials=max(3, trials // 2),
+                base_seed=7100 + n,
+            )
+            crash_rounds = crash.mean_rounds
+        lower = lower_bound_bar_joseph_ben_or(n, t)
+        log_n = math.log2(n)
+        report.add_row(
+            {
+                "n": n,
+                "t": t,
+                "measured_rounds": byzantine.mean_rounds,
+                "crash_rounds": crash_rounds,
+                "lower_bound": lower,
+                "upper_bound": predicted_rounds(n, t),
+                "gap_measured_vs_lb": byzantine.mean_rounds / lower if lower else float("inf"),
+                "polylog_budget": log_n * log_n,
+            }
+        )
+    return report

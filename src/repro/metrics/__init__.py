@@ -1,0 +1,23 @@
+"""Metrics collection and experiment reporting.
+
+* :mod:`repro.metrics.collectors` — turn :class:`RunResult` /
+  :class:`TrialsResult` objects into flat records (one dict per row).
+* :mod:`repro.metrics.reporting` — render those records as aligned text
+  tables, the format the benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from repro.metrics.collectors import (
+    collect_run_metrics,
+    collect_sweep_rows,
+    collect_trials_metrics,
+)
+from repro.metrics.reporting import ExperimentReport, format_table, format_value
+
+__all__ = [
+    "collect_run_metrics",
+    "collect_trials_metrics",
+    "collect_sweep_rows",
+    "ExperimentReport",
+    "format_table",
+    "format_value",
+]

@@ -1,0 +1,82 @@
+"""Flatten simulation results into plain records for reporting.
+
+Every collector returns ``dict[str, object]`` rows with short, stable keys so
+that benchmark output, EXPERIMENTS.md tables and tests all read the same
+fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.runner import TrialsResult
+from repro.simulator.scheduler import RunResult
+
+
+def collect_run_metrics(result: RunResult) -> dict[str, object]:
+    """One row summarising a single execution."""
+    phases = result.extra.get("phases", (result.rounds + 1) // 2)
+    return {
+        "protocol": result.protocol_name,
+        "adversary": result.adversary_name,
+        "n": len(result.inputs),
+        "t_corrupted": len(result.corrupted),
+        "rounds": result.rounds,
+        "phases": phases,
+        "messages": result.message_count,
+        "bits": result.bit_count,
+        "agreement": result.agreement,
+        "validity": result.validity,
+        "decision": result.decision,
+        "congest_violations": result.congest_violations,
+        "timed_out": result.timed_out,
+    }
+
+
+def collect_trials_metrics(trials: TrialsResult) -> dict[str, object]:
+    """One row aggregating a multi-trial experiment."""
+    experiment = trials.experiment
+    row: dict[str, object] = {
+        "protocol": experiment.protocol,
+        "adversary": experiment.adversary,
+        "inputs": experiment.inputs,
+        "n": experiment.n,
+        "t": experiment.t,
+    }
+    row.update(trials.summary())
+    return row
+
+
+def collect_sweep_rows(sweeps: Iterable[TrialsResult]) -> list[dict[str, object]]:
+    """Aggregate rows for a sweep of experiments (one row per configuration)."""
+    return [collect_trials_metrics(trials) for trials in sweeps]
+
+
+def per_trial_rows(trials: TrialsResult) -> list[dict[str, object]]:
+    """Expanded per-trial rows (used when distributions matter, e.g. E8)."""
+    experiment = trials.experiment
+    rows = []
+    for trial in trials.trials:
+        rows.append(
+            {
+                "protocol": experiment.protocol,
+                "adversary": experiment.adversary,
+                "n": experiment.n,
+                "t": experiment.t,
+                "seed": trial.seed,
+                "rounds": trial.rounds,
+                "phases": trial.phases,
+                "agreement": trial.agreement,
+                "validity": trial.validity,
+                "messages": trial.messages,
+                "bits": trial.bits,
+                "corrupted": trial.corrupted,
+                "timed_out": trial.timed_out,
+            }
+        )
+    return rows
+
+
+def column_values(rows: Sequence[dict[str, object]], key: str) -> list[object]:
+    """Extract one column from a list of rows (missing values become ``None``)."""
+    return [row.get(key) for row in rows]

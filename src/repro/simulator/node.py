@@ -1,0 +1,163 @@
+"""Protocol node abstraction.
+
+Every agreement protocol in this repository (the paper's Algorithm 3, the
+Chor–Coan baseline, Rabin's dealer-coin protocol, Ben-Or, phase-king, EIG and
+the sampling-majority protocol) is implemented as a subclass of
+:class:`ProtocolNode`.  A node is a per-process state machine driven by the
+synchronous scheduler:
+
+1. at the start of round ``r`` the scheduler calls :meth:`ProtocolNode.generate`
+   to obtain the node's outgoing messages for that round (this is where the
+   node draws any randomness for the round);
+2. the adversary observes all honest messages (rushing), adaptively corrupts
+   nodes and substitutes messages for the corrupted ones;
+3. the scheduler delivers each node's inbox through
+   :meth:`ProtocolNode.deliver`, at which point the node updates its state and
+   may decide and/or terminate.
+
+Once a node is corrupted the scheduler stops invoking it; its behaviour is
+thereafter entirely determined by the adversary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProtocolViolationError
+from repro.simulator.messages import Message
+
+
+@dataclass(frozen=True)
+class HonestNodeRecord:
+    """Snapshot of an honest node's externally relevant state.
+
+    Used by execution traces and by validators; the adversary receives the
+    full node objects instead (full-information model).
+    """
+
+    node_id: int
+    value: int | None
+    decided: bool
+    terminated: bool
+    output: int | None
+
+
+class ProtocolNode(ABC):
+    """Abstract base class for a single protocol participant.
+
+    Args:
+        node_id: This node's identifier in ``0 .. n-1``.  The paper indexes
+            nodes from 1; the implementation uses 0-based ids and the committee
+            partition accounts for the shift.
+        n: Total number of nodes in the (complete) network.
+        t: Declared upper bound on the number of Byzantine nodes the protocol
+            must tolerate.
+        input_value: The node's binary input.
+        rng: Private random stream of this node (see
+            :class:`repro.simulator.rng.RandomnessSource`).
+
+    Subclasses must implement :meth:`generate` and :meth:`deliver` and are
+    expected to set :attr:`output` and :attr:`terminated` when they decide.
+    """
+
+    #: Human-readable protocol name, overridden by subclasses.
+    protocol_name: str = "abstract"
+
+    def __init__(self, node_id: int, n: int, t: int, input_value: int, rng: np.random.Generator):
+        if not 0 <= node_id < n:
+            raise ValueError(f"node_id {node_id} out of range for n={n}")
+        if input_value not in (0, 1):
+            raise ValueError(f"input_value must be 0 or 1, got {input_value}")
+        self.node_id = node_id
+        self.n = n
+        self.t = t
+        self.input_value = input_value
+        self.rng = rng
+        #: Current estimate of the agreement value (``val`` in the paper).
+        self.value: int = input_value
+        #: ``decided`` flag from the paper's pseudocode.
+        self.decided: bool = False
+        #: Set once the node has irrevocably terminated with :attr:`output`.
+        self.terminated: bool = False
+        #: Final output bit; ``None`` until the node terminates.
+        self.output: int | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def generate(self, round_index: int) -> list[Message]:
+        """Produce the messages this node sends in global round ``round_index``.
+
+        Called exactly once per round for every honest, non-terminated node.
+        All randomness for the round must be drawn here so that a rushing
+        adversary (which sees these messages before acting) is modelled
+        faithfully.
+        """
+
+    @abstractmethod
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        """Process the messages received in global round ``round_index``.
+
+        ``inbox`` contains every message addressed to this node that was
+        actually delivered, including the node's own broadcast to itself when
+        the protocol counts it.
+        """
+
+    # ------------------------------------------------------------------
+    # Helpers shared by all protocols
+    # ------------------------------------------------------------------
+    def decide(self, value: int) -> None:
+        """Record the final output and mark the node terminated.
+
+        Raises:
+            ProtocolViolationError: If the node attempts to change an output
+                it has already committed to (honest nodes never do this).
+        """
+        if value not in (0, 1):
+            raise ProtocolViolationError(
+                f"node {self.node_id} attempted to decide non-binary value {value!r}"
+            )
+        if self.terminated and self.output != value:
+            raise ProtocolViolationError(
+                f"node {self.node_id} attempted to change its decision from "
+                f"{self.output} to {value}"
+            )
+        self.output = value
+        self.terminated = True
+
+    def record(self) -> HonestNodeRecord:
+        """Return an immutable snapshot of this node's public state."""
+        return HonestNodeRecord(
+            node_id=self.node_id,
+            value=self.value,
+            decided=self.decided,
+            terminated=self.terminated,
+            output=self.output,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "terminated" if self.terminated else "running"
+        return (
+            f"<{type(self).__name__} id={self.node_id} val={self.value} "
+            f"decided={self.decided} {status}>"
+        )
+
+
+class ConstantNode(ProtocolNode):
+    """Trivial protocol node that immediately decides its own input.
+
+    Useful for exercising the simulator machinery in isolation (it obviously
+    does not solve Byzantine agreement unless all inputs agree).
+    """
+
+    protocol_name = "constant"
+
+    def generate(self, round_index: int) -> list[Message]:
+        return []
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        self.decide(self.input_value)

@@ -1,0 +1,347 @@
+"""Fast NumPy execution engine for large parameter sweeps.
+
+The object-level simulator (:mod:`repro.simulator.scheduler`) delivers every
+message individually, which is faithful but quadratic-per-round in Python; at
+``n`` in the thousands a single run of the paper's protocol under attack takes
+minutes.  The benchmark sweeps (experiments E1, E3, E4, E5) therefore use this
+vectorised engine, which simulates the *same* protocols — Algorithm 3 (bounded
+or Las Vegas) and the Chor–Coan baseline — under the two adversary behaviours
+that matter for the round-complexity claims:
+
+* ``"none"``   — no corruption (failure-free runs);
+* ``"straddle"`` — the greedy rushing coin attack of
+  :class:`repro.adversary.strategies.coin_attack.CoinAttackAdversary`:
+  silent in round 1, and in round 2 it corrupts just enough same-sign
+  committee members to make half the honest nodes read the coin as 1 and the
+  other half as 0, until its budget runs out.
+
+The engine exploits the fact that under these behaviours every honest node
+receives the *same* multiset of round-1/round-2 announcements (only the coin
+is per-recipient), so per-recipient message matrices never need to be
+materialised: one pass over aggregate counters per round reproduces the exact
+state evolution of the object simulator.  The test-suite cross-validates the
+two engines on deterministic corner cases and statistically on distributions
+of phase counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import ProtocolParameters, validate_n_t
+from repro.baselines.chor_coan import chor_coan_parameters
+from repro.exceptions import ConfigurationError
+
+#: CONGEST cost (bits) of the round-1 and round-2 payloads, kept consistent
+#: with repro.simulator.messages.ValueAnnouncement / CombinedAnnouncement.
+_ROUND_PAYLOAD_BITS = 35
+
+
+@dataclass(frozen=True)
+class VectorizedRunResult:
+    """Outcome of one vectorised execution."""
+
+    n: int
+    t: int
+    rounds: int
+    phases: int
+    agreement: bool
+    validity: bool
+    decision: int | None
+    corrupted: int
+    messages: int
+    bits: int
+    timed_out: bool
+
+
+@dataclass
+class VectorizedAgreementSimulator:
+    """Vectorised simulation of a committee-phase agreement protocol.
+
+    Args:
+        n: Network size.
+        t: Byzantine budget (``t < n/3``).
+        params: Committee geometry (the paper's formula or Chor–Coan's).
+        adversary: ``"none"`` or ``"straddle"``.
+        las_vegas: When True the protocol cycles committees until termination;
+            when False it stops after ``params.num_phases`` phases and decides
+            by exhaustion (the w.h.p. variant).
+        max_phases: Safety cap for Las Vegas runs.
+    """
+
+    n: int
+    t: int
+    params: ProtocolParameters
+    adversary: str = "straddle"
+    las_vegas: bool = True
+    max_phases: int | None = None
+
+    def __post_init__(self) -> None:
+        validate_n_t(self.n, self.t)
+        if self.adversary not in ("none", "straddle"):
+            raise ConfigurationError(
+                f"vectorized adversary must be 'none' or 'straddle', got {self.adversary!r}"
+            )
+        if self.max_phases is None:
+            # The straddle adversary spends at least one corruption per spoiled
+            # phase, so t + O(log n) phases always suffice; keep a wide margin.
+            self.max_phases = 2 * self.t + 50 * max(1, int(math.log2(max(2, self.n)))) + 50
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: np.ndarray, rng: np.random.Generator) -> VectorizedRunResult:
+        """Execute the protocol on ``inputs`` using randomness from ``rng``."""
+        n, t = self.n, self.t
+        if inputs.shape != (n,):
+            raise ConfigurationError(f"inputs must have shape ({n},), got {inputs.shape}")
+        committee_size = self.params.committee_size
+        num_committees = max(1, math.ceil(n / committee_size))
+        phase_cap = self.max_phases if self.las_vegas else self.params.num_phases
+        assert phase_cap is not None
+
+        value = inputs.astype(np.int8).copy()
+        decided = np.zeros(n, dtype=bool)
+        corrupted = np.zeros(n, dtype=bool)
+        terminated = np.zeros(n, dtype=bool)
+        flush_phase = np.full(n, -1, dtype=np.int64)  # -1: not finishing
+        output = np.full(n, -1, dtype=np.int8)
+        budget = t
+        messages = 0
+        rounds = 0
+        phases = 0
+        honest_inputs = inputs.copy()
+
+        def active_mask() -> np.ndarray:
+            return ~corrupted & ~terminated
+
+        for phase in range(1, phase_cap + 1):
+            if not np.any(active_mask()):
+                break
+            phases = phase
+            # Sender set: every honest, non-terminated node broadcasts in both
+            # rounds (including nodes in their flush phase).
+            senders = active_mask()
+            sender_count = int(senders.sum())
+            updatable = senders & (flush_phase == -1)
+
+            # ---------------- Round 1 ----------------
+            rounds += 1
+            messages += sender_count * n
+            ones = int(value[senders].sum())
+            zeros = sender_count - ones
+            if ones >= n - t:
+                value[updatable] = 1
+                decided[updatable] = True
+            elif zeros >= n - t:
+                value[updatable] = 0
+                decided[updatable] = True
+            else:
+                decided[updatable] = False
+
+            # ---------------- Round 2 ----------------
+            rounds += 1
+            messages += sender_count * n
+            decided_senders = senders & decided
+            d1 = int(value[decided_senders].sum())
+            d0 = int(decided_senders.sum()) - d1
+
+            committee_index = (phase - 1) % num_committees
+            start = committee_index * committee_size
+            stop = min(n, start + committee_size)
+            committee = np.zeros(n, dtype=bool)
+            committee[start:stop] = True
+            honest_committee = committee & senders
+            shares = np.zeros(n, dtype=np.int8)
+            flips = rng.integers(0, 2, size=int(honest_committee.sum())) * 2 - 1
+            shares[honest_committee] = flips.astype(np.int8)
+            honest_sum = int(shares.sum())
+            controlled_in_committee = int((committee & corrupted).sum())
+
+            finish_value = None
+            if d1 >= n - t:
+                finish_value = 1
+            elif d0 >= n - t:
+                finish_value = 0
+            adopt_value = None
+            if finish_value is None:
+                if d1 >= t + 1:
+                    adopt_value = 1
+                elif d0 >= t + 1:
+                    adopt_value = 0
+
+            if finish_value is not None:
+                value[updatable] = finish_value
+                decided[updatable] = True
+                flush_phase[updatable] = phase + 1
+            elif adopt_value is not None:
+                value[updatable] = adopt_value
+                decided[updatable] = True
+            else:
+                # Case 3: the committee coin, possibly under attack.
+                spoiled = False
+                if self.adversary == "straddle" and budget > 0:
+                    sign = 1 if honest_sum >= 0 else -1
+                    if honest_sum >= 0:
+                        needed = max(0, math.ceil((honest_sum - controlled_in_committee + 1) / 2))
+                    else:
+                        needed = max(0, math.ceil((-honest_sum - controlled_in_committee) / 2))
+                    same_sign = honest_committee & (shares == sign)
+                    available = int(same_sign.sum())
+                    if needed <= budget and needed <= available:
+                        # Corrupt `needed` same-sign committee members.
+                        target_ids = np.flatnonzero(same_sign)[:needed]
+                        corrupted[target_ids] = True
+                        budget -= needed
+                        controlled_total = controlled_in_committee + needed
+                        recipients = np.flatnonzero(active_mask() & (flush_phase == -1))
+                        # Adversary round-2 traffic: controlled members to all honest.
+                        messages += controlled_total * int(active_mask().sum())
+                        half = len(recipients) // 2
+                        value[recipients[half:]] = 1
+                        value[recipients[:half]] = 0
+                        decided[recipients] = False
+                        spoiled = True
+                if not spoiled:
+                    coin = 1 if honest_sum >= 0 else 0
+                    recipients = active_mask() & (flush_phase == -1)
+                    value[recipients] = coin
+                    decided[recipients] = False
+
+            # Flush-phase terminations (nodes finishing this phase).
+            finishing_now = active_mask() & (flush_phase != -1) & (flush_phase <= phase)
+            if np.any(finishing_now):
+                output[finishing_now] = value[finishing_now]
+                terminated[finishing_now] = True
+
+            # Bounded variant: decide by exhaustion after the last phase.
+            if not self.las_vegas and phase >= self.params.num_phases:
+                remaining = active_mask()
+                output[remaining] = value[remaining]
+                terminated[remaining] = True
+
+        honest = ~corrupted
+        finished = honest & terminated
+        timed_out = bool(np.any(honest & ~terminated))
+        if timed_out:
+            # Treat unfinished honest nodes' current value as their output so
+            # that agreement/validity can still be evaluated.
+            output[honest & ~terminated] = value[honest & ~terminated]
+        outputs = output[honest]
+        agreement = bool(len(np.unique(outputs)) <= 1) if outputs.size else True
+        decision = int(outputs[0]) if agreement and outputs.size else None
+        honest_input_values = np.unique(honest_inputs[honest])
+        validity = True
+        if len(honest_input_values) == 1 and outputs.size:
+            validity = bool(np.all(outputs == honest_input_values[0]))
+        return VectorizedRunResult(
+            n=n,
+            t=t,
+            rounds=rounds,
+            phases=phases,
+            agreement=agreement,
+            validity=validity,
+            decision=decision,
+            corrupted=int(corrupted.sum()),
+            messages=messages,
+            bits=messages * _ROUND_PAYLOAD_BITS,
+            timed_out=timed_out,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience sweep API used by the benchmarks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorizedAggregate:
+    """Aggregate statistics over several vectorised trials."""
+
+    n: int
+    t: int
+    protocol: str
+    adversary: str
+    trials: int
+    mean_rounds: float
+    mean_phases: float
+    max_rounds: int
+    mean_messages: float
+    agreement_rate: float
+    validity_rate: float
+    mean_corrupted: float
+
+
+def _parameters_for(protocol: str, n: int, t: int, alpha: float) -> ProtocolParameters:
+    if protocol in ("committee-ba", "committee-ba-las-vegas"):
+        return ProtocolParameters.derive(n, t, alpha)
+    if protocol in ("chor-coan", "chor-coan-las-vegas"):
+        return chor_coan_parameters(n, t, alpha=alpha)
+    raise ConfigurationError(
+        "the vectorized engine supports the committee-ba and chor-coan protocols, "
+        f"got {protocol!r}"
+    )
+
+
+def run_vectorized_trials(
+    n: int,
+    t: int,
+    *,
+    protocol: str = "committee-ba-las-vegas",
+    adversary: str = "straddle",
+    inputs: str = "split",
+    trials: int = 10,
+    seed: int = 0,
+    alpha: float = 4.0,
+) -> VectorizedAggregate:
+    """Run several vectorised trials and aggregate them.
+
+    Mirrors :func:`repro.core.runner.run_trials` closely enough that benchmark
+    code can switch between the two engines by network size.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    params = _parameters_for(protocol, n, t, alpha)
+    las_vegas = protocol.endswith("las-vegas")
+    simulator = VectorizedAgreementSimulator(
+        n=n, t=t, params=params, adversary=adversary, las_vegas=las_vegas
+    )
+    rounds: list[int] = []
+    phases: list[int] = []
+    messages: list[int] = []
+    corrupted: list[int] = []
+    agreements = 0
+    validities = 0
+    for k in range(trials):
+        rng = np.random.Generator(np.random.Philox(key=np.array([seed, k], dtype=np.uint64)))
+        if inputs == "split":
+            input_bits = np.zeros(n, dtype=np.int8)
+            input_bits[n // 2 :] = 1
+        elif inputs == "random":
+            input_bits = rng.integers(0, 2, size=n).astype(np.int8)
+        elif inputs == "unanimous-0":
+            input_bits = np.zeros(n, dtype=np.int8)
+        elif inputs == "unanimous-1":
+            input_bits = np.ones(n, dtype=np.int8)
+        else:
+            raise ConfigurationError(f"unknown input pattern {inputs!r}")
+        result = simulator.run(input_bits, rng)
+        rounds.append(result.rounds)
+        phases.append(result.phases)
+        messages.append(result.messages)
+        corrupted.append(result.corrupted)
+        agreements += int(result.agreement)
+        validities += int(result.validity)
+    return VectorizedAggregate(
+        n=n,
+        t=t,
+        protocol=protocol,
+        adversary=adversary,
+        trials=trials,
+        mean_rounds=float(np.mean(rounds)),
+        mean_phases=float(np.mean(phases)),
+        max_rounds=int(np.max(rounds)),
+        mean_messages=float(np.mean(messages)),
+        agreement_rate=agreements / trials,
+        validity_rate=validities / trials,
+        mean_corrupted=float(np.mean(corrupted)),
+    )

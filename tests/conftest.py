@@ -1,0 +1,19 @@
+"""Shared pytest fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.rng import RandomnessSource
+
+
+@pytest.fixture
+def randomness() -> RandomnessSource:
+    """A deterministic randomness source shared by simulator-level tests."""
+    return RandomnessSource(seed=1234)
+
+
+@pytest.fixture
+def node_rng(randomness: RandomnessSource):
+    """A single node-level random stream."""
+    return randomness.node_stream(0)

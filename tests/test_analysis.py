@@ -1,0 +1,190 @@
+"""Tests for the analysis layer: Paley–Zygmund, bound curves and statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    BoundCurves,
+    committee_good_phase_probability,
+    crossover_versus_chor_coan,
+    example_speedup_at_three_quarters,
+    expected_spoilable_phases,
+    gap_to_lower_bound,
+    message_curves,
+    predicted_phases_chor_coan_under_straddle,
+    predicted_phases_under_straddle,
+)
+from repro.analysis.paley_zygmund import (
+    coin_success_lower_bound,
+    common_coin_bias_bound,
+    exact_common_coin_probability,
+    paley_zygmund_bound,
+    sum_exceeds_probability,
+)
+from repro.analysis.statistics import (
+    geometric_mean,
+    loglog_slope,
+    mean_confidence_interval,
+    success_rate,
+)
+
+
+class TestPaleyZygmund:
+    def test_inequality_holds_for_bernoulli_example(self):
+        # X ~ Bernoulli(p) scaled: E[X] = p, E[X^2] = p; P(X > theta*p) = p for theta<1.
+        p, theta = 0.3, 0.5
+        assert paley_zygmund_bound(p, p, theta) <= p + 1e-12
+
+    def test_inequality_monotone_in_theta(self):
+        bounds = [paley_zygmund_bound(1.0, 2.0, theta) for theta in (0.0, 0.3, 0.6, 0.9)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            paley_zygmund_bound(1.0, 2.0, 1.5)
+        with pytest.raises(ValueError):
+            paley_zygmund_bound(-1.0, 2.0, 0.5)
+        with pytest.raises(ValueError):
+            paley_zygmund_bound(1.0, 0.0, 0.5)
+
+    def test_theorem3_constant_is_at_least_one_twelfth(self):
+        for n in (16, 64, 256, 1024, 4096):
+            assert coin_success_lower_bound(n) >= 1 / 12 - 1e-9
+
+    def test_theorem3_bound_validated_by_monte_carlo(self):
+        # P(X > sqrt(n)/2) for the honest-sum X must dominate the PZ bound.
+        n = 100
+        g = n - int(0.5 * math.sqrt(n))
+        rng = np.random.default_rng(0)
+        sums = rng.choice([-1, 1], size=(20000, g)).sum(axis=1)
+        empirical = float(np.mean(sums > 0.5 * math.sqrt(n)))
+        assert empirical >= coin_success_lower_bound(n)
+
+    def test_sum_exceeds_probability_exact_small_case(self):
+        # 3 flips: P(S > 1) = P(S = 3) = 1/8.
+        assert sum_exceeds_probability(3, 1) == pytest.approx(1 / 8)
+        # P(S > 0) = P(S in {1, 3}) = 4/8.
+        assert sum_exceeds_probability(3, 0) == pytest.approx(0.5)
+        assert sum_exceeds_probability(0, 0) == 0.0
+        assert sum_exceeds_probability(4, 10) == 0.0
+
+    def test_exact_common_coin_probability_decreases_with_byzantine(self):
+        probs = [exact_common_coin_probability(64, f) for f in (0, 2, 4, 8, 16)]
+        assert probs == sorted(probs, reverse=True)
+        assert probs[0] > 0.9  # no Byzantine: only a tie can be ambiguous
+
+    def test_exact_common_coin_probability_at_corollary_threshold(self):
+        # At f = sqrt(k)/2 the guarantee is a constant bounded away from 0.
+        for k in (16, 64, 256):
+            f = int(0.5 * math.sqrt(k))
+            assert exact_common_coin_probability(k, f) >= 1 / 12
+
+    def test_bias_bound_is_symmetric_interval(self):
+        low, high = common_coin_bias_bound(64, 4)
+        assert 0 < low < 0.5 < high < 1
+        assert low + high == pytest.approx(1.0)
+
+    def test_degenerate_cases(self):
+        assert exact_common_coin_probability(4, 4) == 0.0
+        with pytest.raises(ValueError):
+            exact_common_coin_probability(0, 0)
+        with pytest.raises(ValueError):
+            sum_exceeds_probability(-1, 0)
+
+
+class TestBoundCurves:
+    def test_curve_ordering_small_t(self):
+        curves = BoundCurves.at(4096, 30)
+        assert curves.lower_bound <= curves.this_paper + 1e-9
+        assert curves.this_paper <= curves.deterministic + 1
+
+    def test_speedup_grows_as_t_shrinks(self):
+        n = 1 << 20
+        speedups = [BoundCurves.at(n, t).speedup_vs_chor_coan for t in (200000, 20000, 2000)]
+        assert speedups == sorted(speedups)
+
+    def test_gap_to_lower_bound_is_polylog_at_sqrt_n(self):
+        n = 1 << 20
+        t = int(math.sqrt(n))
+        gap = gap_to_lower_bound(n, t)
+        assert gap <= math.log2(n) ** 2.5
+
+    def test_crossover_value(self):
+        n = 4096
+        assert crossover_versus_chor_coan(n) == pytest.approx(n / (12.0 * 12.0))
+
+    def test_example_speedup_direction(self):
+        ours, chor_coan = example_speedup_at_three_quarters(1 << 40)
+        assert ours > 0 and chor_coan > 0
+
+    def test_message_curves_ordering(self):
+        curves = message_curves(1 << 14, 64)
+        assert curves["this_paper"] <= curves["chor_coan"] + 1e-9
+        assert curves["lower_bound_nt"] <= curves["this_paper"]
+
+    def test_good_phase_probability_behaviour(self):
+        assert committee_good_phase_probability(64, 0) > committee_good_phase_probability(64, 8)
+        assert committee_good_phase_probability(64, 64) == 0.0
+        assert committee_good_phase_probability(0, 0) == 0.0
+
+    def test_expected_spoilable_phases_scales_inversely_with_committee_size(self):
+        few = expected_spoilable_phases(1024, 100, committee_size=256)
+        many = expected_spoilable_phases(1024, 100, committee_size=4)
+        assert few < many
+        assert expected_spoilable_phases(1024, 0, 16) == 0.0
+
+    def test_straddle_phase_predictions_favor_paper_for_small_t(self):
+        n, t = 4096, 40
+        ours = predicted_phases_under_straddle(n, t)
+        chor_coan = predicted_phases_chor_coan_under_straddle(n, t)
+        assert ours < chor_coan
+
+
+class TestStatistics:
+    def test_success_rate_interval_contains_truth(self):
+        estimate = success_rate(90, 100)
+        assert estimate.rate == pytest.approx(0.9)
+        assert estimate.low < 0.9 < estimate.high
+        assert estimate.contains(0.9)
+        assert not estimate.contains(0.5)
+
+    def test_success_rate_validation(self):
+        with pytest.raises(ValueError):
+            success_rate(5, 0)
+        with pytest.raises(ValueError):
+            success_rate(11, 10)
+
+    def test_mean_confidence_interval(self):
+        mean, low, high = mean_confidence_interval([2.0, 4.0, 6.0, 8.0])
+        assert mean == pytest.approx(5.0)
+        assert low < mean < high
+        single = mean_confidence_interval([3.0])
+        assert single == (3.0, 3.0, 3.0)
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_loglog_slope_recovers_exponents(self):
+        xs = [2, 4, 8, 16, 32]
+        assert loglog_slope(xs, [x**2 for x in xs]) == pytest.approx(2.0)
+        assert loglog_slope(xs, [5 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_loglog_slope_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            loglog_slope([2, 2], [1, 2])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.n == 64 and args.t == 12
+        assert args.protocol == "committee-ba"
+        assert args.adversary == "coin-attack"
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "nope"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_command_prints_metrics_and_succeeds(self, capsys):
+        code = main(["run", "--n", "19", "--t", "4", "--seed", "3", "--trace"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "rounds" in output and "agreement" in output
+
+    def test_run_command_with_null_adversary(self, capsys):
+        code = main(["run", "--n", "16", "--t", "3", "--adversary", "null",
+                     "--inputs", "unanimous-1"])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_trials_command(self, capsys):
+        code = main(["trials", "--n", "16", "--t", "3", "--trials", "3", "--seed", "5"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "agreement_rate" in output
+        assert "mean_rounds" in output
+
+    def test_experiment_command_quick(self, capsys):
+        code = main(["experiment", "e7"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "E7" in output
+
+    def test_experiment_command_unknown_id(self, capsys):
+        code = main(["experiment", "E99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

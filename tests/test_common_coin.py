@@ -1,0 +1,151 @@
+"""Tests for the common coin protocols (Algorithm 1 and Algorithm 2).
+
+Beyond unit tests of the share-combination rule, these tests check the
+substance of Theorem 3 and Corollary 1 empirically: under the adaptive rushing
+straddle attack with at most ``sqrt(n)/2`` corruptions, the fraction of runs
+in which all honest nodes output the same bit is at least the paper's 1/12
+bound (in fact far higher), and both outcomes occur.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import NullAdversary
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.core.common_coin import (
+    CoinRunOutcome,
+    coin_from_shares,
+    run_common_coin,
+    shares_from_inbox,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulator.messages import CoinShare, Message
+
+
+class TestCoinFromShares:
+    def test_positive_sum_gives_one(self):
+        assert coin_from_shares({0: 1, 1: 1, 2: -1}) == 1
+
+    def test_negative_sum_gives_zero(self):
+        assert coin_from_shares({0: -1, 1: -1, 2: 1}) == 0
+
+    def test_tie_counts_as_one(self):
+        assert coin_from_shares({0: 1, 1: -1}) == 1
+        assert coin_from_shares({}) == 1
+
+    def test_designated_filter_ignores_outsiders(self):
+        shares = {0: -1, 1: -1, 2: 1, 3: 1, 4: 1}
+        assert coin_from_shares(shares, designated={0, 1}) == 0
+        assert coin_from_shares(shares, designated={2, 3, 4}) == 1
+
+
+class TestSharesFromInbox:
+    def test_takes_first_share_per_sender_and_filters_malformed(self):
+        inbox = [
+            Message(0, 9, CoinShare(phase=1, share=1)),
+            Message(0, 9, CoinShare(phase=1, share=-1)),  # duplicate sender: ignored
+            Message(1, 9, CoinShare(phase=1, share=5)),  # malformed: ignored
+            Message(2, 9, CoinShare(phase=2, share=-1)),  # wrong phase: ignored
+            Message(3, 9, CoinShare(phase=1, share=-1)),
+        ]
+        assert shares_from_inbox(inbox, phase=1) == {0: 1, 3: -1}
+
+    def test_phase_none_accepts_all_phases(self):
+        inbox = [Message(0, 9, CoinShare(phase=4, share=1))]
+        assert shares_from_inbox(inbox) == {0: 1}
+
+
+class TestAlgorithm1:
+    def test_no_adversary_coin_is_always_common(self):
+        for seed in range(10):
+            outcome = run_common_coin(21, NullAdversary(), seed=seed)
+            assert outcome.common
+            assert outcome.value in (0, 1)
+
+    def test_both_outcomes_occur_without_adversary(self):
+        values = {run_common_coin(15, NullAdversary(), seed=seed).value for seed in range(30)}
+        assert values == {0, 1}
+
+    def test_theorem3_success_probability_under_straddle_attack(self):
+        # n = 36, budget = sqrt(n)/2 = 3 adaptive rushing corruptions.
+        n, budget, trials = 36, 3, 120
+        common = 0
+        values = set()
+        for seed in range(trials):
+            outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=seed)
+            if outcome.common:
+                common += 1
+                values.add(outcome.value)
+        # Theorem 3 guarantees a constant (>= 1/12) success probability; the
+        # empirical rate under the straddle attack is far higher.
+        assert common / trials >= 1 / 12
+        # Definition 2(B): conditioned on success, both outcomes occur.
+        assert values == {0, 1}
+
+    def test_overwhelming_adversary_can_break_the_coin(self):
+        # With t >> sqrt(n) the straddle attack succeeds essentially always,
+        # confirming the attack (and the tightness of the sqrt(n) condition).
+        n, budget, trials = 25, 12, 40
+        broken = sum(
+            not run_common_coin(n, CoinAttackAdversary(budget), seed=seed).common
+            for seed in range(trials)
+        )
+        assert broken / trials > 0.5
+
+
+class TestAlgorithm2:
+    def test_designated_coin_without_adversary(self):
+        designated = set(range(5))
+        outcome = run_common_coin(20, NullAdversary(), seed=3, designated=designated)
+        assert outcome.common
+
+    def test_shares_from_non_designated_nodes_are_ignored(self):
+        # An adversary that corrupts only nodes *outside* the designated set
+        # and floods contradictory shares cannot affect the coin at all.
+        from repro.adversary.base import Adversary, AdversaryAction
+
+        class OutsiderFlooder(Adversary):
+            strategy_name = "outsider-flooder"
+
+            def act(self, view):
+                new = {0, 1} - view.corrupted
+                messages = []
+                for sender in (0, 1):
+                    for recipient in view.honest_ids():
+                        share = 1 if recipient % 2 == 0 else -1
+                        messages.append(Message(sender, recipient, CoinShare(phase=0, share=share)))
+                return AdversaryAction(new_corruptions=new, messages=messages)
+
+        designated = set(range(10, 20))
+        for seed in range(8):
+            outcome = run_common_coin(20, OutsiderFlooder(2), seed=seed, designated=designated)
+            assert outcome.common
+
+    def test_corollary1_success_rate_with_byzantine_inside_committee(self):
+        designated = set(range(16))
+        trials, common = 60, 0
+        for seed in range(trials):
+            outcome = run_common_coin(
+                64, CoinAttackAdversary(2), seed=seed, designated=designated
+            )
+            common += outcome.common
+        assert common / trials >= 1 / 12
+
+    def test_empty_designated_set_rejected(self):
+        import numpy as np
+
+        from repro.core.common_coin import DesignatedCoinFlipNode
+
+        with pytest.raises(ConfigurationError):
+            DesignatedCoinFlipNode(0, 4, 1, 0, np.random.default_rng(0), designated=[])
+        with pytest.raises(ConfigurationError):
+            DesignatedCoinFlipNode(0, 4, 1, 0, np.random.default_rng(0), designated=[99])
+
+
+class TestOutcomeObject:
+    def test_common_and_value_properties(self):
+        same = CoinRunOutcome(outputs={0: 1, 1: 1}, corrupted=frozenset())
+        split = CoinRunOutcome(outputs={0: 1, 1: 0}, corrupted=frozenset({5}))
+        assert same.common and same.value == 1
+        assert not split.common and split.value is None

@@ -1,0 +1,45 @@
+"""Tests for the Las Vegas variant of Algorithm 3 (Section 3.2 remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import run_agreement
+
+
+class TestLasVegasVariant:
+    @pytest.mark.parametrize("adversary", ["null", "coin-attack", "static", "crash"])
+    def test_always_terminates_and_agrees(self, adversary):
+        result = run_agreement(
+            n=24, t=6, protocol="committee-ba-las-vegas", adversary=adversary,
+            inputs="split", seed=17,
+        )
+        assert not result.timed_out
+        assert result.agreement
+        assert result.validity
+
+    def test_never_decides_by_exhaustion(self):
+        # The Las Vegas node ends only through the Finish mechanism, so its
+        # round count is always an even number of full phases plus the flush.
+        result = run_agreement(
+            n=24, t=6, protocol="committee-ba-las-vegas", adversary="coin-attack",
+            inputs="split", seed=3, collect_trace=True,
+        )
+        assert result.agreement
+        # Every honest node terminated (trace snapshot has outputs for all).
+        assert all(snapshot.terminated for snapshot in result.trace.node_snapshots)
+
+    def test_matches_bounded_variant_on_easy_instances(self):
+        bounded = run_agreement(n=20, t=4, protocol="committee-ba", adversary="null",
+                                inputs="unanimous-1", seed=9)
+        las_vegas = run_agreement(n=20, t=4, protocol="committee-ba-las-vegas",
+                                  adversary="null", inputs="unanimous-1", seed=9)
+        assert bounded.decision == las_vegas.decision == 1
+        assert abs(bounded.rounds - las_vegas.rounds) <= 2
+
+    def test_rounds_grow_with_budget(self):
+        small = run_agreement(n=30, t=3, protocol="committee-ba-las-vegas",
+                              adversary="coin-attack", inputs="split", seed=5)
+        large = run_agreement(n=30, t=9, protocol="committee-ba-las-vegas",
+                              adversary="coin-attack", inputs="split", seed=5)
+        assert large.rounds >= small.rounds

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+from repro.analysis.paley_zygmund import exact_common_coin_probability, sum_exceeds_probability
+from repro.core.committee import CommitteePartition
+from repro.core.common_coin import coin_from_shares
+from repro.core.parameters import ProtocolParameters, max_tolerable_t
+from repro.core.runner import run_agreement
+from repro.simulator.messages import CoinShare, ValueAnnouncement, broadcast
+
+
+# ----------------------------------------------------------------------
+# Committee partition
+# ----------------------------------------------------------------------
+@given(n=st.integers(1, 300), size=st.integers(1, 300))
+def test_partition_covers_every_node_exactly_once(n, size):
+    assume(size <= n)
+    partition = CommitteePartition(n, size)
+    seen = [partition.committee_of(v) for v in range(n)]
+    # committee_of agrees with membership and every committee is within range.
+    assert all(0 <= c < partition.num_committees for c in seen)
+    counted = sum(len(partition.members(c)) for c in range(partition.num_committees))
+    assert counted == n
+    for v in range(n):
+        assert v in partition.members(partition.committee_of(v))
+
+
+@given(n=st.integers(2, 200), size=st.integers(1, 200), phase=st.integers(1, 500))
+def test_phase_schedule_always_returns_valid_committee(n, size, phase):
+    assume(size <= n)
+    partition = CommitteePartition(n, size)
+    members = partition.members_for_phase(phase)
+    assert 1 <= len(members) <= size
+    assert all(0 <= v < n for v in members)
+
+
+# ----------------------------------------------------------------------
+# Parameters
+# ----------------------------------------------------------------------
+@given(n=st.integers(4, 100_000))
+def test_derived_parameters_are_well_formed_for_all_legal_t(n):
+    for t in {0, 1, max_tolerable_t(n) // 2, max_tolerable_t(n)}:
+        params = ProtocolParameters.derive(n, t)
+        assert 1 <= params.num_phases <= n
+        assert 1 <= params.committee_size <= n
+        assert params.committee_size * params.num_committees >= n
+
+
+@given(n=st.integers(16, 20_000), seed=st.integers(0, 10))
+def test_phase_count_is_monotone_in_t(n, seed):
+    ts = sorted({1 + (seed * 7 + k * max(1, max_tolerable_t(n) // 5)) % max(1, max_tolerable_t(n))
+                 for k in range(4)})
+    phases = [ProtocolParameters.derive(n, t).num_phases for t in ts]
+    assert phases == sorted(phases)
+
+
+# ----------------------------------------------------------------------
+# Coin combination rule
+# ----------------------------------------------------------------------
+@given(shares=st.dictionaries(st.integers(0, 50), st.sampled_from([-1, 1]), max_size=30))
+def test_coin_matches_sign_of_sum(shares):
+    coin = coin_from_shares(shares)
+    assert coin == (1 if sum(shares.values()) >= 0 else 0)
+
+
+@given(
+    shares=st.dictionaries(st.integers(0, 50), st.sampled_from([-1, 1]), max_size=30),
+    designated=st.sets(st.integers(0, 50), max_size=30),
+)
+def test_designated_coin_ignores_everything_else(shares, designated):
+    coin = coin_from_shares(shares, designated=designated)
+    filtered_sum = sum(v for k, v in shares.items() if k in designated)
+    assert coin == (1 if filtered_sum >= 0 else 0)
+
+
+# ----------------------------------------------------------------------
+# Straddle arithmetic: the computed corruption count really straddles
+# ----------------------------------------------------------------------
+@given(
+    plus=st.integers(0, 40),
+    minus=st.integers(0, 40),
+    controlled=st.integers(0, 10),
+)
+def test_corruptions_needed_is_sufficient_and_minimal(plus, minus, controlled):
+    honest_sum = plus - minus
+    needed = CoinAttackAdversary.corruptions_needed(honest_sum, controlled)
+    sign = 1 if honest_sum >= 0 else -1
+    available_same_sign = plus if sign == 1 else minus
+    assume(needed <= available_same_sign)
+    # After corrupting `needed` same-sign members the adversary controls
+    # m = controlled + needed shares and the honest sum shrinks accordingly;
+    # sufficiency: it can now send totals >= 0 to some and < 0 to others.
+    new_sum = honest_sum - needed * sign
+    m = controlled + needed
+    assert new_sum + m >= 0
+    assert new_sum - m <= -1
+    # Minimality: one fewer corruption cannot straddle.
+    if needed > 0:
+        smaller_sum = honest_sum - (needed - 1) * sign
+        smaller_m = controlled + needed - 1
+        assert not (smaller_sum + smaller_m >= 0 and smaller_sum - smaller_m <= -1)
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@given(sender=st.integers(0, 19), n=st.integers(1, 20), value=st.integers(0, 1),
+       phase=st.integers(1, 1000))
+def test_broadcast_structure(sender, n, value, phase):
+    assume(sender < n)
+    messages = broadcast(sender, n, ValueAnnouncement(phase, 1, value, False))
+    assert len(messages) == n
+    assert {m.recipient for m in messages} == set(range(n))
+    assert all(m.sender == sender for m in messages)
+    assert all(m.bit_size() > 0 for m in messages)
+
+
+@given(phase=st.integers(0, 10_000), share=st.sampled_from([-1, 1]))
+def test_coin_share_payload_is_constant_size(phase, share):
+    assert CoinShare(phase, share).bit_size() == CoinShare(0, 1).bit_size()
+
+
+# ----------------------------------------------------------------------
+# Analytic probabilities
+# ----------------------------------------------------------------------
+@given(g=st.integers(1, 200), threshold=st.integers(-5, 205))
+def test_sum_exceeds_probability_is_a_probability_and_monotone(g, threshold):
+    p = sum_exceeds_probability(g, threshold)
+    p_higher = sum_exceeds_probability(g, threshold + 2)
+    assert 0.0 <= p <= 1.0
+    assert p_higher <= p + 1e-12
+
+
+@given(k=st.integers(1, 150))
+def test_exact_common_coin_probability_monotone_in_byzantine(k):
+    probabilities = [exact_common_coin_probability(k, f) for f in range(0, k + 1, max(1, k // 5))]
+    assert all(0.0 <= p <= 1.0 for p in probabilities)
+    assert all(a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+
+# ----------------------------------------------------------------------
+# End-to-end invariant: agreement and validity always hold
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(7, 25),
+    t_fraction=st.floats(0.0, 1.0),
+    adversary=st.sampled_from(
+        ["null", "silent", "static", "equivocate", "random-noise", "coin-attack", "crash"]
+    ),
+    inputs=st.sampled_from(["split", "random", "unanimous-0", "unanimous-1"]),
+    seed=st.integers(0, 10_000),
+)
+def test_agreement_and_validity_invariant(n, t_fraction, adversary, inputs, seed):
+    t = int(t_fraction * max_tolerable_t(n))
+    result = run_agreement(n=n, t=t, protocol="committee-ba", adversary=adversary,
+                           inputs=inputs, seed=seed)
+    assert result.agreement
+    assert result.validity
+    assert len(result.corrupted) <= t
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(7, 22),
+    adversary=st.sampled_from(["coin-attack", "static", "crash"]),
+    seed=st.integers(0, 10_000),
+)
+def test_las_vegas_invariant(n, adversary, seed):
+    t = max_tolerable_t(n)
+    result = run_agreement(n=n, t=t, protocol="committee-ba-las-vegas", adversary=adversary,
+                           inputs="split", seed=seed)
+    assert result.agreement
+    assert result.validity
+    assert not result.timed_out

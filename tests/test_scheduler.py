@@ -1,0 +1,213 @@
+"""Unit and integration tests for the synchronous scheduler.
+
+These tests exercise the round structure directly with small custom protocol
+nodes and adversaries so that the scheduler's rushing/adaptive semantics are
+verified independently of the agreement protocols built on top of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Adversary, AdversaryAction, AdversaryView, NullAdversary
+from repro.exceptions import (
+    AgreementViolationError,
+    BudgetExceededError,
+    ConfigurationError,
+    SimulationError,
+    ValidityViolationError,
+)
+from repro.simulator.messages import DecisionNotice, Message, broadcast
+from repro.simulator.node import ConstantNode, ProtocolNode
+from repro.simulator.rng import RandomnessSource
+from repro.simulator.scheduler import RunResult, SynchronousScheduler
+
+
+class EchoMajorityNode(ProtocolNode):
+    """Toy 1-round protocol: broadcast input, decide the majority received."""
+
+    protocol_name = "echo-majority"
+
+    def generate(self, round_index):
+        return broadcast(self.node_id, self.n, DecisionNotice(value=self.input_value))
+
+    def deliver(self, round_index, inbox):
+        ones = sum(1 for m in inbox if isinstance(m.payload, DecisionNotice) and m.payload.value == 1)
+        self.decide(1 if 2 * ones > len(inbox) else 0)
+
+
+class RushingObserverAdversary(Adversary):
+    """Records whether it saw the honest messages of the current round."""
+
+    strategy_name = "observer"
+
+    def __init__(self, t=0, **kwargs):
+        super().__init__(t, **kwargs)
+        self.saw_current_round_messages: list[bool] = []
+
+    def act(self, view: AdversaryView) -> AdversaryAction:
+        self.saw_current_round_messages.append(bool(view.honest_outgoing))
+        return AdversaryAction()
+
+
+class CorruptFirstAdversary(Adversary):
+    """Corrupts node 0 in round 0 and makes it send value 1 to everyone."""
+
+    strategy_name = "corrupt-first"
+
+    def act(self, view: AdversaryView) -> AdversaryAction:
+        if 0 in view.corrupted:
+            return AdversaryAction()
+        messages = [Message(0, r, DecisionNotice(value=1)) for r in range(view.n)]
+        return AdversaryAction(new_corruptions={0}, messages=messages)
+
+
+class OverBudgetAdversary(Adversary):
+    strategy_name = "over-budget"
+
+    def act(self, view: AdversaryView) -> AdversaryAction:
+        return AdversaryAction(new_corruptions=set(range(view.n)))
+
+
+class SpoofingAdversary(Adversary):
+    strategy_name = "spoofing"
+
+    def act(self, view: AdversaryView) -> AdversaryAction:
+        # Claims a message from an honest node it never corrupted.
+        honest = view.honest_ids()[0]
+        return AdversaryAction(messages=[Message(honest, 0, DecisionNotice(value=1))])
+
+
+def _nodes(cls, n, inputs, t=0, seed=3):
+    source = RandomnessSource(seed)
+    return [cls(i, n, t, inputs[i], source.node_stream(i)) for i in range(n)]
+
+
+class TestSchedulerBasics:
+    def test_requires_nodes_in_id_order(self):
+        nodes = _nodes(ConstantNode, 3, [0, 0, 0])
+        nodes.reverse()
+        with pytest.raises(ConfigurationError):
+            SynchronousScheduler(nodes, NullAdversary())
+
+    def test_runs_to_termination_and_reports_outputs(self):
+        nodes = _nodes(EchoMajorityNode, 5, [1, 1, 1, 0, 0])
+        result = SynchronousScheduler(nodes, NullAdversary()).run()
+        assert result.rounds == 1
+        assert result.outputs == {i: 1 for i in range(5)}
+        assert result.agreement and result.validity
+
+    def test_raises_on_non_termination(self):
+        class SilentForeverNode(ProtocolNode):
+            protocol_name = "silent-forever"
+
+            def generate(self, round_index):
+                return []
+
+            def deliver(self, round_index, inbox):
+                return None
+
+        nodes = _nodes(SilentForeverNode, 3, [0, 0, 0])
+        with pytest.raises(SimulationError):
+            SynchronousScheduler(nodes, NullAdversary(), max_rounds=5).run()
+
+    def test_allow_timeout_returns_partial_result(self):
+        class SilentForeverNode(ProtocolNode):
+            protocol_name = "silent-forever"
+
+            def generate(self, round_index):
+                return []
+
+            def deliver(self, round_index, inbox):
+                return None
+
+        nodes = _nodes(SilentForeverNode, 3, [0, 0, 0])
+        result = SynchronousScheduler(
+            nodes, NullAdversary(), max_rounds=5, allow_timeout=True
+        ).run()
+        assert result.timed_out
+        with pytest.raises(SimulationError):
+            result.check()
+
+    def test_trace_collection(self):
+        nodes = _nodes(EchoMajorityNode, 4, [1, 1, 0, 0])
+        result = SynchronousScheduler(nodes, NullAdversary(), collect_trace=True).run()
+        assert result.trace is not None
+        assert result.trace.rounds == result.rounds
+        assert len(result.trace.node_snapshots) == 4
+
+
+class TestAdversaryInteraction:
+    def test_rushing_adversary_sees_current_round_messages(self):
+        nodes = _nodes(EchoMajorityNode, 4, [1, 0, 1, 0])
+        adversary = RushingObserverAdversary(t=0, rushing=True)
+        SynchronousScheduler(nodes, adversary).run()
+        assert adversary.saw_current_round_messages[0] is True
+
+    def test_non_rushing_adversary_does_not(self):
+        nodes = _nodes(EchoMajorityNode, 4, [1, 0, 1, 0])
+        adversary = RushingObserverAdversary(t=0, rushing=False)
+        SynchronousScheduler(nodes, adversary).run()
+        assert adversary.saw_current_round_messages[0] is False
+
+    def test_corrupted_nodes_messages_are_replaced(self):
+        # Node 0 has input 0, but the adversary corrupts it in the same round
+        # and makes it vote 1, flipping a 3-2 majority for 0 into 3-2 for 1
+        # from every honest node's perspective.
+        nodes = _nodes(EchoMajorityNode, 5, [0, 0, 0, 1, 1], t=1)
+        result = SynchronousScheduler(nodes, CorruptFirstAdversary(t=1)).run()
+        assert result.corrupted == {0}
+        assert 0 not in result.outputs
+        assert set(result.outputs.values()) == {1}
+
+    def test_budget_is_enforced(self):
+        nodes = _nodes(EchoMajorityNode, 4, [0, 0, 1, 1], t=1)
+        with pytest.raises(BudgetExceededError):
+            SynchronousScheduler(nodes, OverBudgetAdversary(t=1)).run()
+
+    def test_spoofed_senders_are_rejected(self):
+        from repro.exceptions import ProtocolViolationError
+
+        nodes = _nodes(EchoMajorityNode, 4, [0, 0, 1, 1], t=1)
+        with pytest.raises(ProtocolViolationError):
+            SynchronousScheduler(nodes, SpoofingAdversary(t=1)).run()
+
+
+class TestRunResultPredicates:
+    def _result(self, outputs, inputs, corrupted=frozenset()):
+        return RunResult(
+            outputs=outputs,
+            rounds=1,
+            corrupted=set(corrupted),
+            inputs=inputs,
+            message_count=0,
+            bit_count=0,
+            congest_violations=0,
+            timed_out=False,
+            protocol_name="x",
+            adversary_name="y",
+        )
+
+    def test_agreement_violation_detection(self):
+        result = self._result({0: 0, 1: 1}, [0, 1])
+        assert not result.agreement
+        with pytest.raises(AgreementViolationError):
+            result.check()
+
+    def test_validity_violation_detection(self):
+        result = self._result({0: 0, 1: 0}, [1, 1])
+        assert result.agreement
+        assert not result.validity
+        with pytest.raises(ValidityViolationError):
+            result.check()
+
+    def test_validity_vacuous_when_inputs_differ(self):
+        result = self._result({0: 0, 1: 0}, [0, 1])
+        assert result.validity
+        result.check()
+
+    def test_corrupted_nodes_excluded_from_validity_premise(self):
+        # Honest nodes all start with 1; the corrupted node's 0 input is ignored.
+        result = self._result({1: 1, 2: 1}, [0, 1, 1], corrupted={0})
+        assert result.validity_applicable
+        assert result.validity

@@ -1,0 +1,112 @@
+"""Tests for the vectorised execution engine, including cross-validation
+against the object-level simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ProtocolParameters
+from repro.core.runner import AgreementExperiment, run_trials
+from repro.exceptions import ConfigurationError
+from repro.simulator.vectorized import (
+    VectorizedAgreementSimulator,
+    run_vectorized_trials,
+)
+
+
+def _simulator(n=64, t=8, adversary="straddle", las_vegas=True, alpha=4.0):
+    params = ProtocolParameters.derive(n, t, alpha)
+    return VectorizedAgreementSimulator(n=n, t=t, params=params, adversary=adversary,
+                                        las_vegas=las_vegas)
+
+
+class TestVectorizedEngine:
+    def test_unanimous_inputs_decide_fast_and_valid(self):
+        simulator = _simulator(adversary="none")
+        rng = np.random.default_rng(0)
+        result = simulator.run(np.ones(64, dtype=np.int8), rng)
+        assert result.agreement and result.validity
+        assert result.decision == 1
+        assert result.phases <= 2
+
+    def test_split_inputs_agree_under_attack(self):
+        simulator = _simulator()
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            result = simulator.run(np.array([0] * 32 + [1] * 32, dtype=np.int8), rng)
+            assert result.agreement
+            assert result.corrupted <= 8
+
+    def test_rounds_grow_with_budget(self):
+        small = run_vectorized_trials(256, 5, trials=5, seed=1)
+        large = run_vectorized_trials(256, 40, trials=5, seed=1)
+        assert large.mean_rounds > small.mean_rounds
+
+    def test_adversary_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            _simulator(adversary="nonsense")
+        with pytest.raises(ConfigurationError):
+            run_vectorized_trials(64, 8, protocol="phase-king")
+        with pytest.raises(ConfigurationError):
+            run_vectorized_trials(64, 8, trials=0)
+        with pytest.raises(ConfigurationError):
+            run_vectorized_trials(64, 8, inputs="diagonal")
+
+    def test_input_shape_validated(self):
+        simulator = _simulator()
+        with pytest.raises(ConfigurationError):
+            simulator.run(np.zeros(10, dtype=np.int8), np.random.default_rng(0))
+
+    def test_bounded_variant_stops_at_schedule(self):
+        params = ProtocolParameters.derive(64, 8)
+        simulator = VectorizedAgreementSimulator(n=64, t=8, params=params,
+                                                 adversary="straddle", las_vegas=False)
+        rng = np.random.default_rng(3)
+        result = simulator.run(np.array([0] * 32 + [1] * 32, dtype=np.int8), rng)
+        assert result.phases <= params.num_phases
+        assert result.rounds == 2 * result.phases
+
+    def test_message_counts_scale_with_n_squared(self):
+        small = run_vectorized_trials(64, 4, trials=3, seed=0, adversary="none",
+                                      inputs="unanimous-1")
+        large = run_vectorized_trials(256, 4, trials=3, seed=0, adversary="none",
+                                      inputs="unanimous-1")
+        assert large.mean_messages > 10 * small.mean_messages
+
+
+class TestCrossValidation:
+    def test_matches_object_simulator_on_failure_free_unanimous_runs(self):
+        vec = run_vectorized_trials(32, 5, adversary="none", inputs="unanimous-1",
+                                    trials=3, seed=0, protocol="committee-ba-las-vegas")
+        obj = run_trials(
+            AgreementExperiment(n=32, t=5, protocol="committee-ba-las-vegas",
+                                adversary="null", inputs="unanimous-1"),
+            num_trials=3, base_seed=0,
+        )
+        assert vec.agreement_rate == obj.agreement_rate == 1.0
+        assert vec.mean_rounds == pytest.approx(obj.mean_rounds, abs=2.0)
+
+    def test_statistically_consistent_with_object_simulator_under_attack(self):
+        # Same protocol, same adversary strategy, independent randomness: the
+        # mean number of phases should agree within a generous tolerance.
+        n, t, trials = 48, 8, 12
+        vec = run_vectorized_trials(n, t, adversary="straddle", inputs="split",
+                                    trials=trials, seed=3,
+                                    protocol="committee-ba-las-vegas")
+        obj = run_trials(
+            AgreementExperiment(n=n, t=t, protocol="committee-ba-las-vegas",
+                                adversary="coin-attack", inputs="split"),
+            num_trials=trials, base_seed=3,
+        )
+        assert vec.agreement_rate == obj.agreement_rate == 1.0
+        assert vec.mean_phases == pytest.approx(obj.mean_phases, rel=0.6, abs=4.0)
+
+    def test_chor_coan_geometry_used_when_requested(self):
+        ours = run_vectorized_trials(1024, 24, protocol="committee-ba-las-vegas",
+                                     trials=4, seed=2)
+        chor_coan = run_vectorized_trials(1024, 24, protocol="chor-coan-las-vegas",
+                                          trials=4, seed=2)
+        # Larger committees make each straddle more expensive, so the paper's
+        # protocol should finish in no more rounds than Chor-Coan here.
+        assert ours.mean_rounds <= chor_coan.mean_rounds + 2
