@@ -1,19 +1,35 @@
-"""Micro-benchmarks of the two execution engines.
+"""Micro-benchmarks of the execution engines.
 
-Not tied to a paper claim; these measure the cost of a single protocol
-execution in the object-level simulator and in the vectorised engine, which is
-what determines how large a sweep the experiment harness can afford.  They use
-pytest-benchmark's statistical timing (multiple rounds), unlike the experiment
-benchmarks which run their sweep exactly once.
+Not tied to a paper claim; these measure the cost of protocol executions in
+the object-level simulator, the single-trial vectorised engine and the
+batched vectorised engine, which is what determines how large a sweep the
+experiment harness can afford.  The single-run benchmarks use
+pytest-benchmark's statistical timing (multiple rounds); the batched-sweep
+comparison times each engine end to end and asserts both the speedup floor
+and bit-for-bit result identity.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.core.parameters import ProtocolParameters
 from repro.core.runner import run_agreement
-from repro.simulator.vectorized import VectorizedAgreementSimulator
+from repro.engine import run_sweep
+from repro.simulator.vectorized import VectorizedAgreementSimulator, run_vectorized_trials
+
+#: The batched-sweep comparison configuration (trials, n, t).  t = n/8 sits in
+#: the middle of the adversary budgets the experiments sweep.
+SWEEP_TRIALS = 100
+SWEEP_N = 2000
+SWEEP_T = 250
+
+#: Regression floor for the batched speedup.  Typical measurements are 5.5-6.5x
+#: (the per-trial Philox draws that batching cannot amortise are the bound);
+#: the floor leaves headroom for noisy CI machines.
+MIN_BATCH_SPEEDUP = 3.5
 
 
 def test_object_engine_single_run(benchmark):
@@ -42,6 +58,56 @@ def test_vectorized_engine_single_run(benchmark):
 
     result = benchmark(run_once)
     assert result.agreement
+
+
+def test_batched_vs_per_trial_loop_speedup():
+    """The batched engine must beat the seed's per-trial loop by a wide margin.
+
+    Runs the same ``trials=100, n=2000`` sweep through ``run_batch`` (the
+    default) and through the per-trial loop the seed shipped, checks the two
+    produce *identical* per-trial results on the same ``(seed, k)`` Philox
+    keys, and prints the measured speedup.
+    """
+    kwargs = dict(
+        protocol="committee-ba-las-vegas", adversary="straddle", inputs="split",
+        trials=SWEEP_TRIALS, seed=17,
+    )
+    timings = {}
+    for label, batch, repeats in (("batched", True, 3), ("per-trial loop", False, 2)):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            aggregate = run_vectorized_trials(SWEEP_N, SWEEP_T, batch=batch, **kwargs)
+            best = min(best, time.perf_counter() - started)
+        timings[label] = (best, aggregate)
+
+    batched_s, batched = timings["batched"]
+    loop_s, loop = timings["per-trial loop"]
+    assert batched.results == loop.results, "batched results must be bit-identical"
+    speedup = loop_s / batched_s
+    print(
+        f"\nengine sweep (trials={SWEEP_TRIALS}, n={SWEEP_N}, t={SWEEP_T}): "
+        f"batched {batched_s * 1000:.1f} ms, per-trial loop {loop_s * 1000:.1f} ms, "
+        f"speedup {speedup:.2f}x (identical results, mean phases {batched.mean_phases:.1f})"
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x faster than the per-trial loop "
+        f"(floor {MIN_BATCH_SPEEDUP}x)"
+    )
+
+
+def test_run_sweep_batched_dispatch(benchmark):
+    """End-to-end `repro.engine.run_sweep` on the batched fast path."""
+
+    def run_once():
+        return run_sweep(
+            SWEEP_N, SWEEP_T, protocol="committee-ba-las-vegas",
+            adversary="coin-attack", inputs="split", trials=25, base_seed=23,
+        )
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.engine == "vectorized"
+    assert result.agreement_rate == 1.0
 
 
 def test_common_coin_single_round(benchmark):

@@ -3,8 +3,10 @@
 Every benchmark regenerates one experiment from DESIGN.md's experiment index
 (E1–E10) by calling the corresponding ``repro.experiments.<module>.run``
 function, timing it with pytest-benchmark, printing the resulting table and
-saving it under ``benchmarks/results/<id>.txt`` (the files EXPERIMENTS.md is
-assembled from).
+saving it under ``benchmarks/results/`` twice: the human-readable
+``<id>.txt`` table (the files EXPERIMENTS.md is assembled from) and a
+machine-readable ``<id>.json`` record (rows, notes and wall-clock timing) so
+CI and later changes can track the result/perf trajectory.
 
 Scale control
 -------------
@@ -15,13 +17,44 @@ run the full sweeps recorded in EXPERIMENTS.md (tens of minutes).
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 from repro.metrics.reporting import ExperimentReport
 
 #: Directory where rendered experiment tables are written.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _json_cell(value: object) -> object:
+    """Make one table cell JSON-serialisable (NumPy scalars -> Python)."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def write_json_result(
+    report: ExperimentReport, *, mode: str, seconds: float | None
+) -> Path:
+    """Persist a machine-readable record of one experiment run."""
+    payload = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "mode": mode,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "seconds": seconds,
+        "notes": list(report.notes),
+        "columns": list(report.columns) if report.columns else None,
+        "rows": [
+            {key: _json_cell(cell) for key, cell in row.items()} for row in report.rows
+        ],
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    output_path = RESULTS_DIR / f"{report.experiment_id}.json"
+    output_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return output_path
 
 
 def full_experiments_requested() -> bool:
@@ -40,11 +73,14 @@ def run_and_record(benchmark, experiment_fn) -> ExperimentReport:
         The rendered :class:`ExperimentReport`.
     """
     quick = not full_experiments_requested()
+    started = time.perf_counter()
     report = benchmark.pedantic(experiment_fn, kwargs={"quick": quick}, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
     text = report.render()
     print("\n" + text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     output_path = RESULTS_DIR / f"{report.experiment_id}.txt"
     mode = "full" if not quick else "quick"
     output_path.write_text(f"(sweep mode: {mode})\n{text}\n", encoding="utf-8")
+    write_json_result(report, mode=mode, seconds=elapsed)
     return report

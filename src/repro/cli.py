@@ -9,17 +9,27 @@ Python:
 
 ``trials``
     Repeat a configuration over many seeds and print the aggregate statistics
-    (mean/median/max rounds, agreement and validity rates).
+    (mean/median/max rounds, agreement and validity rates).  Dispatches via
+    :func:`repro.engine.run_sweep`: ``--engine auto`` takes the batched
+    vectorised fast path when the configuration has one, ``--engine object``
+    forces the faithful simulator and ``--workers`` fans object-simulator
+    sweeps out over processes.
 
 ``experiment``
     Regenerate one of the E1–E10 experiment tables (quick sweep by default,
     ``--full`` for the EXPERIMENTS.md-scale sweep).
 
+``engines``
+    Print the engine-dispatch table: which protocol × adversary pairs run on
+    the vectorised fast path under ``--engine auto``.
+
 Examples::
 
     python -m repro run --n 64 --t 12 --adversary coin-attack --seed 7
     python -m repro trials --n 64 --t 12 --trials 20 --protocol chor-coan-las-vegas
+    python -m repro trials --n 2000 --t 250 --trials 100 --engine vectorized
     python -m repro experiment E1 --full
+    python -m repro engines
 """
 
 from __future__ import annotations
@@ -34,8 +44,8 @@ from repro.core.runner import (
     PROTOCOLS,
     AgreementExperiment,
     run_agreement,
-    run_trials,
 )
+from repro.engine import ENGINES, dispatch_table, run_sweep
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
 
@@ -72,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(trials_parser)
     trials_parser.add_argument("--trials", type=int, default=10,
                                help="number of independent trials (default 10)")
+    trials_parser.add_argument("--engine", choices=list(ENGINES), default="object",
+                               help="execution engine (default object; auto takes the "
+                                    "vectorized fast path when available)")
+    trials_parser.add_argument("--workers", type=int, default=None,
+                               help="process count for object-simulator sweeps; "
+                                    "a value > 1 fans the seed range out over a pool")
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the E1-E10 experiment tables"
@@ -80,6 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="experiment id, e.g. E1")
     experiment_parser.add_argument("--full", action="store_true",
                                    help="run the full sweep instead of the quick one")
+
+    subparsers.add_parser("engines", help="print the engine-dispatch table")
     return parser
 
 
@@ -105,8 +123,16 @@ def _command_trials(args: argparse.Namespace) -> int:
         n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
         inputs=args.inputs, alpha=args.alpha,
     )
-    trials = run_trials(experiment, num_trials=args.trials, base_seed=args.seed)
-    print(format_table([collect_trials_metrics(trials)]))
+    engine = args.engine
+    if engine == "object" and args.workers is not None and args.workers > 1:
+        # An explicit worker count is an explicit request for the pool.
+        engine = "object-mp"
+    trials = run_sweep(
+        experiment=experiment, trials=args.trials, base_seed=args.seed,
+        engine=engine, workers=args.workers,
+    )
+    row = {"engine": trials.engine, **collect_trials_metrics(trials)}
+    print(format_table([row]))
     return 0 if trials.agreement_rate == 1.0 else 1
 
 
@@ -123,6 +149,11 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_engines(args: argparse.Namespace) -> int:
+    print(format_table(dispatch_table()))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -133,6 +164,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_trials(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "engines":
+        return _command_engines(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -36,7 +36,7 @@ After the last phase a node that has not finished outputs its current ``val``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -388,44 +388,61 @@ class TrialsResult:
         }
 
 
+def run_single_trial(experiment: AgreementExperiment, seed: int) -> TrialSummary:
+    """Run one seeded execution of ``experiment`` and summarise it.
+
+    Module-level (and operating on plain dataclasses) so that seed-range
+    executors can ship it to worker processes.
+    """
+    result = run_agreement(
+        experiment.n,
+        experiment.t,
+        protocol=experiment.protocol,
+        adversary=experiment.adversary,
+        inputs=experiment.inputs,
+        seed=seed,
+        alpha=experiment.alpha,
+        max_rounds=experiment.max_rounds,
+        allow_timeout=experiment.allow_timeout,
+        protocol_kwargs=experiment.protocol_kwargs,
+        adversary_kwargs=experiment.adversary_kwargs,
+    )
+    return TrialSummary(
+        seed=seed,
+        rounds=result.rounds,
+        phases=int(result.extra.get("phases", 0)),
+        agreement=result.agreement,
+        validity=result.validity,
+        decision=result.decision,
+        messages=result.message_count,
+        bits=result.bit_count,
+        corrupted=len(result.corrupted),
+        timed_out=result.timed_out,
+    )
+
+
 def run_trials(
-    experiment: AgreementExperiment, num_trials: int = 10, *, base_seed: int = 0
+    experiment: AgreementExperiment,
+    num_trials: int = 10,
+    *,
+    base_seed: int = 0,
+    workers: int | None = None,
 ) -> TrialsResult:
     """Run ``num_trials`` independent executions of ``experiment``.
 
     Trial ``k`` uses master seed ``base_seed + k``, so sweeps are reproducible
-    and trivially parallelisable by seed range.
+    and trivially parallelisable by seed range.  Dispatch (including the
+    optional multiprocessing seed-range executor, selected via ``workers``)
+    lives in :func:`repro.engine.run_sweep`; this wrapper always uses the
+    faithful object simulator and returns the same per-trial results
+    regardless of worker count.
     """
-    if num_trials < 1:
-        raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
-    trials: list[TrialSummary] = []
-    for k in range(num_trials):
-        seed = base_seed + k
-        result = run_agreement(
-            experiment.n,
-            experiment.t,
-            protocol=experiment.protocol,
-            adversary=experiment.adversary,
-            inputs=experiment.inputs,
-            seed=seed,
-            alpha=experiment.alpha,
-            max_rounds=experiment.max_rounds,
-            allow_timeout=experiment.allow_timeout,
-            protocol_kwargs=experiment.protocol_kwargs,
-            adversary_kwargs=experiment.adversary_kwargs,
-        )
-        trials.append(
-            TrialSummary(
-                seed=seed,
-                rounds=result.rounds,
-                phases=int(result.extra.get("phases", 0)),
-                agreement=result.agreement,
-                validity=result.validity,
-                decision=result.decision,
-                messages=result.message_count,
-                bits=result.bit_count,
-                corrupted=len(result.corrupted),
-                timed_out=result.timed_out,
-            )
-        )
-    return TrialsResult(experiment=experiment, trials=trials)
+    from repro.engine import run_sweep
+
+    return run_sweep(
+        experiment=experiment,
+        trials=num_trials,
+        base_seed=base_seed,
+        engine="object-mp" if workers is not None and workers > 1 else "object",
+        workers=workers,
+    )

@@ -1,0 +1,363 @@
+"""Unified sweep execution — one entry point, three engines.
+
+Every multi-trial experiment in the repository is a *sweep*: the same
+``(n, t, protocol, adversary, inputs)`` configuration repeated over a seed
+range.  Three executors can run a sweep:
+
+``vectorized``
+    The batched NumPy engine (:mod:`repro.simulator.vectorized`): all trials
+    execute simultaneously on ``(trials, n)`` arrays.  Available for the
+    committee-family protocols under the adversary behaviours the engine
+    models; orders of magnitude faster than the object simulator and the only
+    practical option at thousand-node scale.
+
+``object``
+    The faithful per-message object simulator
+    (:mod:`repro.simulator.scheduler`), one seeded run per trial.  Supports
+    every protocol and adversary.
+
+``object-mp``
+    The object simulator fanned out over a ``ProcessPoolExecutor`` by seed
+    range.  Bit-identical to ``object`` (trial ``k`` always uses master seed
+    ``base_seed + k``); only wall-clock time changes.
+
+:func:`run_sweep` auto-dispatches between them (``engine="auto"``) or obeys an
+explicit choice.  The decision logic is exposed separately as
+:func:`select_engine` so callers (and the README's dispatch table) can see
+which configurations take the fast path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.parameters import ProtocolParameters
+from repro.core.runner import (
+    ADVERSARIES,
+    PROTOCOLS,
+    AgreementExperiment,
+    TrialsResult,
+    TrialSummary,
+    run_single_trial,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulator.vectorized import run_vectorized_trials
+
+#: Engine names accepted by :func:`run_sweep`.
+ENGINES = ("auto", "vectorized", "object", "object-mp")
+
+#: Protocols with a vectorised implementation.
+VECTORIZED_PROTOCOLS = (
+    "committee-ba",
+    "committee-ba-las-vegas",
+    "chor-coan",
+    "chor-coan-las-vegas",
+)
+
+#: Object-simulator adversary names -> vectorised engine behaviours.  The
+#: vectorised names themselves are accepted as aliases so existing callers of
+#: ``run_vectorized_trials`` can migrate without renaming.
+ADVERSARY_FAST_PATH = {
+    "null": "none",
+    "none": "none",
+    "coin-attack": "straddle",
+    "straddle": "straddle",
+    "silent": "silent",
+    "crash": "crash",
+    "random-noise": "random-noise",
+}
+
+#: Below this much estimated work (``trials * n^2`` message deliveries) the
+#: process-pool startup cost outweighs the parallelism.
+_MIN_WORK_FOR_PROCESSES = 5_000_000
+
+#: Seed-range chunks handed out per worker (keeps the pool load-balanced when
+#: per-seed run times vary).
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class SweepResult(TrialsResult):
+    """A :class:`TrialsResult` that also records which engine produced it."""
+
+    engine: str = "object"
+
+
+def vectorizable(
+    protocol: str,
+    adversary: str,
+    *,
+    max_rounds: int | None = None,
+    protocol_kwargs: dict[str, Any] | None = None,
+    adversary_kwargs: dict[str, Any] | None = None,
+) -> bool:
+    """True when the configuration has an exact vectorised equivalent.
+
+    Custom round caps, protocol kwargs beyond ``alpha`` and any adversary
+    kwargs (e.g. explicit target lists or per-phase spend limits) are
+    object-simulator features, so they force the object path.
+    """
+    if protocol not in VECTORIZED_PROTOCOLS:
+        return False
+    if adversary not in ADVERSARY_FAST_PATH:
+        return False
+    if max_rounds is not None:
+        return False
+    if adversary_kwargs:
+        return False
+    if protocol_kwargs and set(protocol_kwargs) - {"alpha"}:
+        return False
+    return True
+
+
+def select_engine(
+    protocol: str,
+    adversary: str,
+    *,
+    engine: str = "auto",
+    trials: int = 10,
+    n: int = 0,
+    workers: int | None = None,
+    max_rounds: int | None = None,
+    protocol_kwargs: dict[str, Any] | None = None,
+    adversary_kwargs: dict[str, Any] | None = None,
+) -> str:
+    """Resolve ``engine="auto"`` to a concrete engine name.
+
+    Raises:
+        ConfigurationError: For unknown engine names, or when
+            ``engine="vectorized"`` is forced for a configuration the
+            vectorised engine cannot reproduce.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; available: {ENGINES}")
+    fast = vectorizable(
+        protocol,
+        adversary,
+        max_rounds=max_rounds,
+        protocol_kwargs=protocol_kwargs,
+        adversary_kwargs=adversary_kwargs,
+    )
+    if engine == "vectorized":
+        if not fast:
+            raise ConfigurationError(
+                f"no vectorized equivalent for protocol={protocol!r} "
+                f"adversary={adversary!r} with the given options; "
+                "use engine='object' (or 'auto')"
+            )
+        return "vectorized"
+    if engine == "auto":
+        if fast:
+            return "vectorized"
+        if workers is not None:
+            return "object-mp" if workers > 1 else "object"
+        # Escalate to the process pool only when the sweep is big enough for
+        # the pool startup to pay off.
+        effective = os.cpu_count() or 1
+        if effective > 1 and trials > 1 and trials * n * n >= _MIN_WORK_FOR_PROCESSES:
+            return "object-mp"
+        return "object"
+    # Explicit "object" / "object-mp" choices are honored verbatim.
+    return engine
+
+
+def _seed_chunks(base_seed: int, trials: int, chunks: int) -> list[list[int]]:
+    """Split the seed range into at most ``chunks`` contiguous pieces."""
+    seeds = [base_seed + k for k in range(trials)]
+    size = max(1, -(-len(seeds) // max(1, chunks)))
+    return [seeds[i : i + size] for i in range(0, len(seeds), size)]
+
+
+def _trials_chunk(payload: tuple[AgreementExperiment, list[int]]) -> list[TrialSummary]:
+    """Worker entry point: run one contiguous seed range serially."""
+    experiment, seeds = payload
+    return [run_single_trial(experiment, seed) for seed in seeds]
+
+
+def _run_object_sweep(
+    experiment: AgreementExperiment,
+    trials: int,
+    base_seed: int,
+    workers: int | None,
+    parallel: bool,
+) -> list[TrialSummary]:
+    """Object-simulator sweep, serial or fanned out over processes.
+
+    The parallel path is bit-identical to the serial one: seeds are assigned
+    as ``base_seed + k`` either way and results are re-assembled in seed
+    order.
+    """
+    if not parallel or trials < 2:
+        return [run_single_trial(experiment, base_seed + k) for k in range(trials)]
+    pool_size = workers if workers is not None else (os.cpu_count() or 1)
+    pool_size = max(1, min(pool_size, trials))
+    chunks = _seed_chunks(base_seed, trials, pool_size * _CHUNKS_PER_WORKER)
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        parts = list(pool.map(_trials_chunk, [(experiment, chunk) for chunk in chunks]))
+    return [summary for part in parts for summary in part]
+
+
+def _run_vectorized_sweep(
+    experiment: AgreementExperiment,
+    trials: int,
+    base_seed: int,
+    params: ProtocolParameters | None,
+) -> list[TrialSummary]:
+    """Batched vectorised sweep, summarised in the object-sweep format.
+
+    Trial ``k`` uses the counter-based Philox key ``(base_seed, k)``; the
+    recorded per-trial ``seed`` is ``k`` (the key counter), matching
+    :func:`repro.simulator.vectorized.run_vectorized_trials`.
+    """
+    aggregate = run_vectorized_trials(
+        experiment.n,
+        experiment.t,
+        protocol=experiment.protocol,
+        adversary=ADVERSARY_FAST_PATH[experiment.adversary],
+        inputs=experiment.inputs,
+        trials=trials,
+        seed=base_seed,
+        alpha=experiment.alpha if experiment.alpha is not None else 4.0,
+        params=params,
+    )
+    return [
+        TrialSummary(
+            seed=k,
+            rounds=result.rounds,
+            phases=result.phases,
+            agreement=result.agreement,
+            validity=result.validity,
+            decision=result.decision,
+            messages=result.messages,
+            bits=result.bits,
+            corrupted=result.corrupted,
+            timed_out=result.timed_out,
+        )
+        for k, result in enumerate(aggregate.results)
+    ]
+
+
+def run_sweep(
+    n: int | None = None,
+    t: int | None = None,
+    *,
+    experiment: AgreementExperiment | None = None,
+    protocol: str = "committee-ba",
+    adversary: str = "coin-attack",
+    inputs: str = "split",
+    trials: int = 10,
+    base_seed: int = 0,
+    alpha: float | None = None,
+    engine: str = "auto",
+    workers: int | None = None,
+    params: ProtocolParameters | None = None,
+    max_rounds: int | None = None,
+    allow_timeout: bool = False,
+    protocol_kwargs: dict[str, Any] | None = None,
+    adversary_kwargs: dict[str, Any] | None = None,
+) -> SweepResult:
+    """Run a multi-trial sweep on the most appropriate engine.
+
+    Either pass an :class:`AgreementExperiment` via ``experiment`` or describe
+    the configuration with ``n``/``t`` and the keyword fields.
+
+    Args:
+        engine: ``"auto"`` (default) picks the vectorised engine whenever the
+            configuration has an exact fast-path equivalent and otherwise
+            falls back to the object simulator, escalating to the
+            multiprocessing seed-range executor for large sweeps;
+            ``"vectorized"`` / ``"object"`` / ``"object-mp"`` force a path
+            (``"object"`` never spawns processes).
+        workers: Process count for the seed-range executor (``None`` = one
+            per CPU).  Results never depend on it.
+        params: Committee-geometry override for the vectorised engine (used
+            by E3 to decouple the declared ``t`` from the attack budget).
+        trials: Number of independent trials; trial ``k`` uses master seed
+            ``base_seed + k`` (object engines) or Philox key
+            ``(base_seed, k)`` (vectorised engine).
+
+    Returns:
+        A :class:`SweepResult` whose ``trials`` list and aggregate properties
+        match :func:`repro.core.runner.run_trials`, with ``engine`` recording
+        the executor actually used.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"num_trials must be positive, got {trials}")
+    if experiment is None:
+        if n is None or t is None:
+            raise ConfigurationError("run_sweep needs either (n, t) or experiment=")
+        experiment = AgreementExperiment(
+            n=n,
+            t=t,
+            protocol=protocol,
+            adversary=adversary,
+            inputs=inputs,
+            alpha=alpha,
+            max_rounds=max_rounds,
+            allow_timeout=allow_timeout,
+            protocol_kwargs=dict(protocol_kwargs or {}),
+            adversary_kwargs=dict(adversary_kwargs or {}),
+        )
+    elif n is not None or t is not None:
+        raise ConfigurationError("pass either (n, t) or experiment=, not both")
+
+    chosen = select_engine(
+        experiment.protocol,
+        experiment.adversary,
+        engine=engine,
+        trials=trials,
+        n=experiment.n,
+        workers=workers,
+        max_rounds=experiment.max_rounds,
+        protocol_kwargs=experiment.protocol_kwargs,
+        adversary_kwargs=experiment.adversary_kwargs,
+    )
+    if params is not None and chosen != "vectorized":
+        raise ConfigurationError(
+            "a committee-geometry override (params=) requires the vectorized engine"
+        )
+
+    if chosen == "vectorized":
+        summaries = _run_vectorized_sweep(experiment, trials, base_seed, params)
+    else:
+        summaries = _run_object_sweep(
+            experiment, trials, base_seed, workers, parallel=chosen == "object-mp"
+        )
+    return SweepResult(experiment=experiment, trials=summaries, engine=chosen)
+
+
+def dispatch_table() -> list[dict[str, str]]:
+    """One row per protocol × adversary pair: which engine ``auto`` picks.
+
+    Rendered in the README and by ``python -m repro engines``.
+    """
+    rows = []
+    for protocol in sorted(PROTOCOLS):
+        for adversary in sorted(ADVERSARIES):
+            fast = vectorizable(protocol, adversary)
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "adversary": adversary,
+                    "auto engine": "vectorized" if fast else "object",
+                    "fast-path behaviour": ADVERSARY_FAST_PATH[adversary]
+                    if fast
+                    else "-",
+                }
+            )
+    return rows
+
+
+__all__ = [
+    "ADVERSARY_FAST_PATH",
+    "ENGINES",
+    "SweepResult",
+    "VECTORIZED_PROTOCOLS",
+    "dispatch_table",
+    "run_sweep",
+    "select_engine",
+    "vectorizable",
+]

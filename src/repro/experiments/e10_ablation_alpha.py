@@ -16,9 +16,9 @@ Design choices probed
 
 from __future__ import annotations
 
-from repro.core.runner import AgreementExperiment, run_trials
+from repro.core.runner import AgreementExperiment
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import run_vectorized_trials
 
 QUICK_CONFIG = (256, 32, [0.5, 1.0, 2.0, 4.0, 8.0], 8, 36, 8)
 FULL_CONFIG = (1024, 100, [0.5, 1.0, 2.0, 4.0, 8.0, 16.0], 20, 48, 12)
@@ -38,9 +38,9 @@ def run(quick: bool = True) -> ExperimentReport:
     )
 
     for alpha in alphas:
-        aggregate = run_vectorized_trials(
+        aggregate = run_sweep(
             n, t, protocol="committee-ba", adversary="straddle", inputs="split",
-            trials=trials, seed=10_000 + int(alpha * 10), alpha=alpha,
+            trials=trials, base_seed=10_000 + int(alpha * 10), alpha=alpha,
         )
         report.add_row(
             {
@@ -55,12 +55,12 @@ def run(quick: bool = True) -> ExperimentReport:
     small_t = small_n // 4
     for label, adversary in [("rushing (coin-attack)", "coin-attack"),
                              ("non-rushing (committee-targeting)", "committee-targeting")]:
-        result = run_trials(
-            AgreementExperiment(
+        result = run_sweep(
+            experiment=AgreementExperiment(
                 n=small_n, t=small_t, protocol="committee-ba-las-vegas",
                 adversary=adversary, inputs="split",
             ),
-            num_trials=small_trials, base_seed=10_500,
+            trials=small_trials, base_seed=10_500, engine="object",
         )
         report.add_row(
             {

@@ -24,8 +24,8 @@ from repro.analysis.bounds import (
     predicted_phases_under_straddle,
 )
 from repro.core.parameters import predicted_rounds, predicted_rounds_chor_coan
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import run_vectorized_trials
 
 #: (n, list of t values, trials per point)
 QUICK_SWEEP = (256, [4, 8, 16, 32, 64, 85], 8)
@@ -50,13 +50,13 @@ def run(quick: bool = True) -> ExperimentReport:
         "analytic_* = the paper's asymptotic bounds with unit constants"
     )
     for t in t_values:
-        ours = run_vectorized_trials(
+        ours = run_sweep(
             n, t, protocol="committee-ba-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=1000 + t,
+            inputs="split", trials=trials, base_seed=1000 + t,
         )
-        chor_coan = run_vectorized_trials(
+        chor_coan = run_sweep(
             n, t, protocol="chor-coan-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=1000 + t,
+            inputs="split", trials=trials, base_seed=1000 + t,
         )
         from repro.core.parameters import ProtocolParameters
 

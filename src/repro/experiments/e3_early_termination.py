@@ -16,10 +16,8 @@ with ``q`` and be essentially independent of the declared ``t``.
 from __future__ import annotations
 
 from repro.core.parameters import ProtocolParameters
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import VectorizedAgreementSimulator
-
-import numpy as np
 
 QUICK_CONFIG = (256, 64, [0, 4, 8, 16, 32, 64], 8)
 FULL_CONFIG = (1024, 250, [0, 8, 16, 32, 64, 125, 250], 20)
@@ -40,36 +38,20 @@ def run(quick: bool = True) -> ExperimentReport:
     )
     report.add_note("the adversary is the greedy straddle attack limited to budget q")
     for q in q_values:
-        simulator = VectorizedAgreementSimulator(
-            n=n, t=declared_t, params=params,
-            adversary="straddle" if q > 0 else "none", las_vegas=True,
+        # Budget-limited adversary: run with t=q for the attack while keeping
+        # the declared committee geometry of t (the params= override).
+        result = run_sweep(
+            n, q, protocol="committee-ba-las-vegas",
+            adversary="straddle" if q > 0 else "none", inputs="split",
+            trials=trials, base_seed=7 + q, params=params,
         )
-        rounds = []
-        corrupted = []
-        agreements = 0
-        for k in range(trials):
-            rng = np.random.Generator(np.random.Philox(key=np.array([7 + q, k], dtype=np.uint64)))
-            inputs = np.zeros(n, dtype=np.int8)
-            inputs[n // 2:] = 1
-            # Budget-limited adversary: reuse the simulator but cap the budget
-            # by running with t=q for the attack while keeping the declared
-            # committee geometry of t.
-            capped = VectorizedAgreementSimulator(
-                n=n, t=max(q, 0) if q > 0 else 0, params=params,
-                adversary="straddle" if q > 0 else "none", las_vegas=True,
-            )
-            result = capped.run(inputs, rng)
-            rounds.append(result.rounds)
-            corrupted.append(result.corrupted)
-            agreements += int(result.agreement)
         report.add_row(
             {
                 "q": q,
-                "mean_rounds": float(np.mean(rounds)),
-                "max_rounds": int(np.max(rounds)),
-                "mean_corrupted": float(np.mean(corrupted)),
-                "agreement_rate": agreements / trials,
+                "mean_rounds": result.mean_rounds,
+                "max_rounds": result.max_rounds,
+                "mean_corrupted": result.mean_corrupted,
+                "agreement_rate": result.agreement_rate,
             }
         )
-        del simulator
     return report

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from repro.core.parameters import predicted_messages, predicted_messages_chor_coan
 from repro.core.runner import run_agreement
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import run_vectorized_trials
 
 QUICK_SWEEP = (256, [8, 16, 32, 64], 6, 24)
 FULL_SWEEP = (1024, [16, 32, 64, 128, 256], 15, 48)
@@ -43,13 +43,13 @@ def run(quick: bool = True) -> ExperimentReport:
         "strict CONGEST accounting (budget = 8 words of O(log n) bits per edge per round)"
     )
     for t in t_values:
-        ours = run_vectorized_trials(
+        ours = run_sweep(
             n, t, protocol="committee-ba-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=2000 + t,
+            inputs="split", trials=trials, base_seed=2000 + t,
         )
-        chor_coan = run_vectorized_trials(
+        chor_coan = run_sweep(
             n, t, protocol="chor-coan-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=2000 + t,
+            inputs="split", trials=trials, base_seed=2000 + t,
         )
         strict = run_agreement(
             n=congest_n, t=min(t, (congest_n - 1) // 3), protocol="committee-ba",

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from repro.baselines.chor_coan import chor_coan_parameters
 from repro.core.parameters import ProtocolParameters, crossover_t
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import run_vectorized_trials
 
 QUICK_SWEEP = (256, [4, 8, 16, 32, 48, 64, 85], 6)
 FULL_SWEEP = (1024, [8, 16, 32, 48, 64, 96, 128, 192, 256, 341], 15)
@@ -45,13 +45,13 @@ def run(quick: bool = True) -> ExperimentReport:
     for t in t_values:
         ours_params = ProtocolParameters.derive(n, t)
         cc_params = chor_coan_parameters(n, t)
-        ours = run_vectorized_trials(
+        ours = run_sweep(
             n, t, protocol="committee-ba-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=4000 + t,
+            inputs="split", trials=trials, base_seed=4000 + t,
         )
-        chor_coan = run_vectorized_trials(
+        chor_coan = run_sweep(
             n, t, protocol="chor-coan-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=4000 + t,
+            inputs="split", trials=trials, base_seed=4000 + t,
         )
         report.add_row(
             {

@@ -19,15 +19,22 @@ model — is exercised.
 from __future__ import annotations
 
 from repro.core.parameters import max_tolerable_t
-from repro.core.runner import AgreementExperiment, run_trials
+from repro.core.runner import AgreementExperiment
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
 
 ADVERSARIES = ["null", "silent", "static", "random-noise", "equivocate",
                "coin-attack", "committee-targeting", "crash"]
 INPUTS = ["split", "unanimous-0", "unanimous-1"]
 
+#: Adversaries with an exact vectorised equivalent; the full sweep re-checks
+#: the matrix for these at a network size far beyond what the object
+#: simulator can afford.
+FAST_PATH_ADVERSARIES = ["null", "silent", "random-noise", "coin-attack", "crash"]
+
 QUICK_CONFIG = (19, 3)
 FULL_CONFIG = (46, 6)
+FAST_PATH_CONFIG = (512, 12)
 
 
 def run(quick: bool = True) -> ExperimentReport:
@@ -44,12 +51,13 @@ def run(quick: bool = True) -> ExperimentReport:
     for adversary in ADVERSARIES:
         for inputs in INPUTS:
             for t in sorted({max(1, t_max // 2), t_max}):
-                result = run_trials(
-                    AgreementExperiment(
+                result = run_sweep(
+                    experiment=AgreementExperiment(
                         n=n, t=t, protocol="committee-ba", adversary=adversary, inputs=inputs
                     ),
-                    num_trials=trials,
+                    trials=trials,
                     base_seed=6000 + 31 * t + len(inputs),
+                    engine="object",
                 )
                 report.add_row(
                     {
@@ -57,6 +65,33 @@ def run(quick: bool = True) -> ExperimentReport:
                         "inputs": inputs,
                         "t": t,
                         "trials": trials,
+                        "agreement_rate": result.agreement_rate,
+                        "validity_rate": result.validity_rate,
+                        "mean_rounds": result.mean_rounds,
+                    }
+                )
+    if not quick:
+        # Large-n spot check on the batched vectorised engine for every
+        # adversary it models exactly (the object simulator is the oracle for
+        # the per-recipient strategies above).
+        big_n, big_trials = FAST_PATH_CONFIG
+        big_t = max_tolerable_t(big_n)
+        report.add_note(
+            f"fast-path rows: n={big_n}, t={big_t}, batched vectorized engine"
+        )
+        for adversary in FAST_PATH_ADVERSARIES:
+            for inputs in INPUTS:
+                result = run_sweep(
+                    big_n, big_t, protocol="committee-ba", adversary=adversary,
+                    inputs=inputs, trials=big_trials,
+                    base_seed=6500 + len(inputs), engine="vectorized",
+                )
+                report.add_row(
+                    {
+                        "adversary": f"{adversary} (vectorized)",
+                        "inputs": inputs,
+                        "t": big_t,
+                        "trials": big_trials,
                         "agreement_rate": result.agreement_rate,
                         "validity_rate": result.validity_rate,
                         "mean_rounds": result.mean_rounds,

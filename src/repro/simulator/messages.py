@@ -27,7 +27,6 @@ the budget at delivery time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any
 
 #: Conservative upper bound, in bits, for an integer counter carried inside a
 #: message (phase numbers, node identifiers).  32 bits comfortably covers any

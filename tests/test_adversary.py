@@ -5,12 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.adversary.adaptive import AdaptiveAdversary, phase_and_round
-from repro.adversary.base import AdversaryAction, AdversaryView, NullAdversary
-from repro.adversary.static import StaticAdversary
+from repro.adversary.base import AdversaryView, NullAdversary
 from repro.adversary.strategies.coin_attack import CoinAttackAdversary
 from repro.adversary.strategies.committee_targeting import CommitteeTargetingAdversary
 from repro.adversary.strategies.crash import AdaptiveCrashAdversary
-from repro.adversary.strategies.equivocate import EquivocatingAdversary
 from repro.adversary.strategies.silence import SilentAdversary
 from repro.core.runner import run_agreement
 from repro.exceptions import BudgetExceededError, ConfigurationError

@@ -14,7 +14,7 @@ from repro.core.agreement import CommitteeAgreementNode, phase_of_round
 from repro.core.parameters import ProtocolParameters
 from repro.core.runner import run_agreement
 from repro.exceptions import ConfigurationError
-from repro.simulator.messages import CoinShare, CombinedAnnouncement, Message, ValueAnnouncement
+from repro.simulator.messages import CombinedAnnouncement, Message, ValueAnnouncement
 from repro.simulator.rng import RandomnessSource
 
 

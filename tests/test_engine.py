@@ -1,0 +1,158 @@
+"""Tests for the unified sweep dispatch (`repro.engine`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ProtocolParameters
+from repro.core.runner import AgreementExperiment, run_trials
+from repro.engine import (
+    ADVERSARY_FAST_PATH,
+    SweepResult,
+    dispatch_table,
+    run_sweep,
+    select_engine,
+    vectorizable,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulator.vectorized import run_vectorized_trials
+
+
+class TestSelectEngine:
+    def test_auto_takes_fast_path_for_committee_family(self):
+        for protocol in ("committee-ba", "committee-ba-las-vegas",
+                         "chor-coan", "chor-coan-las-vegas"):
+            for adversary in ("null", "coin-attack", "silent", "crash", "random-noise"):
+                assert select_engine(protocol, adversary) == "vectorized"
+
+    def test_auto_falls_back_to_object(self):
+        assert select_engine("committee-ba", "equivocate") == "object"
+        assert select_engine("phase-king", "null") == "object"
+        assert select_engine("ben-or", "coin-attack") == "object"
+
+    def test_object_only_options_disable_the_fast_path(self):
+        assert not vectorizable("committee-ba", "coin-attack", max_rounds=100)
+        assert not vectorizable("committee-ba", "silent",
+                                adversary_kwargs={"targets": [1, 2]})
+        assert not vectorizable("chor-coan", "coin-attack",
+                                protocol_kwargs={"group_size_factor": 2.0})
+        assert vectorizable("chor-coan", "coin-attack",
+                            protocol_kwargs={"alpha": 2.0})
+
+    def test_forcing_vectorized_on_unsupported_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            select_engine("phase-king", "null", engine="vectorized")
+        with pytest.raises(ConfigurationError):
+            select_engine("committee-ba", "equivocate", engine="vectorized")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_engine("committee-ba", "null", engine="warp")
+
+    def test_auto_escalates_to_processes_only_for_large_sweeps(self, monkeypatch):
+        import repro.engine as engine_module
+
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 8)
+        small = select_engine("committee-ba", "equivocate", engine="auto",
+                              trials=5, n=32)
+        assert small == "object"
+        large = select_engine("committee-ba", "equivocate", engine="auto",
+                              trials=200, n=512)
+        assert large == "object-mp"
+
+    def test_auto_honors_an_explicit_worker_count(self):
+        # An explicit workers= under auto is an explicit request, regardless
+        # of sweep size.
+        parallel = select_engine("committee-ba", "equivocate", engine="auto",
+                                 trials=5, n=32, workers=4)
+        assert parallel == "object-mp"
+        serial = select_engine("committee-ba", "equivocate", engine="auto",
+                               trials=200, n=512, workers=1)
+        assert serial == "object"
+
+    def test_explicit_object_never_spawns_processes(self):
+        # engine="object" is a strict in-process contract, even for sweeps
+        # big enough that auto would escalate.
+        chosen = select_engine("committee-ba", "equivocate", engine="object",
+                               trials=200, n=512, workers=4)
+        assert chosen == "object"
+
+
+class TestRunSweep:
+    def test_vectorized_sweep_matches_run_vectorized_trials(self):
+        sweep = run_sweep(64, 12, protocol="committee-ba-las-vegas",
+                          adversary="coin-attack", inputs="split",
+                          trials=6, base_seed=3)
+        assert isinstance(sweep, SweepResult)
+        assert sweep.engine == "vectorized"
+        direct = run_vectorized_trials(64, 12, protocol="committee-ba-las-vegas",
+                                       adversary="straddle", inputs="split",
+                                       trials=6, seed=3)
+        assert sweep.mean_rounds == direct.mean_rounds
+        assert sweep.mean_messages == direct.mean_messages
+        assert sweep.agreement_rate == direct.agreement_rate
+        assert sweep.mean_corrupted == direct.mean_corrupted
+
+    def test_object_sweep_matches_seeded_trials(self):
+        experiment = AgreementExperiment(n=19, t=3, protocol="committee-ba",
+                                         adversary="coin-attack", inputs="split")
+        sweep = run_sweep(experiment=experiment, trials=4, base_seed=11,
+                          engine="object")
+        assert sweep.engine == "object"
+        assert [trial.seed for trial in sweep.trials] == [11, 12, 13, 14]
+        again = run_sweep(experiment=experiment, trials=4, base_seed=11,
+                          engine="object")
+        assert sweep.trials == again.trials
+
+    def test_multiprocessing_executor_is_bit_identical_to_serial(self):
+        experiment = AgreementExperiment(n=19, t=3, protocol="committee-ba",
+                                         adversary="coin-attack", inputs="split")
+        serial = run_sweep(experiment=experiment, trials=5, base_seed=5,
+                           engine="object")
+        parallel = run_sweep(experiment=experiment, trials=5, base_seed=5,
+                             engine="object-mp", workers=2)
+        assert parallel.engine == "object-mp"
+        assert serial.trials == parallel.trials
+
+    def test_run_trials_delegates_to_the_object_engine(self):
+        experiment = AgreementExperiment(n=19, t=3, protocol="committee-ba",
+                                         adversary="silent", inputs="split")
+        result = run_trials(experiment, num_trials=3, base_seed=2)
+        assert isinstance(result, SweepResult)
+        assert result.engine == "object"
+        assert result.num_trials == 3
+
+    def test_params_override_reaches_the_vectorized_engine(self):
+        # E3's shape: committee geometry derived for a larger declared t than
+        # the attack budget actually handed to the adversary.
+        params = ProtocolParameters.derive(64, 16)
+        capped = run_sweep(64, 4, protocol="committee-ba-las-vegas",
+                           adversary="straddle", trials=5, base_seed=9,
+                           params=params)
+        assert capped.engine == "vectorized"
+        assert max(trial.corrupted for trial in capped.trials) <= 4
+
+    def test_params_override_requires_the_vectorized_engine(self):
+        params = ProtocolParameters.derive(19, 3)
+        with pytest.raises(ConfigurationError):
+            run_sweep(19, 3, protocol="committee-ba", adversary="equivocate",
+                      trials=2, params=params)
+
+    def test_argument_validation(self):
+        experiment = AgreementExperiment(n=19, t=3)
+        with pytest.raises(ConfigurationError):
+            run_sweep(trials=3)
+        with pytest.raises(ConfigurationError):
+            run_sweep(19, 3, experiment=experiment, trials=3)
+        with pytest.raises(ConfigurationError):
+            run_sweep(19, 3, trials=0)
+
+
+class TestDispatchTable:
+    def test_covers_every_protocol_adversary_pair(self):
+        rows = dispatch_table()
+        assert len(rows) == 9 * 8  # PROTOCOLS x ADVERSARIES
+        fast = [row for row in rows if row["auto engine"] == "vectorized"]
+        assert len(fast) == 4 * 5  # committee family x modelled adversaries
+        for row in fast:
+            assert row["fast-path behaviour"] == ADVERSARY_FAST_PATH[row["adversary"]]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.simulator.messages import (
     BITS_PER_COUNTER,

@@ -10,8 +10,10 @@ from repro.core.parameters import ProtocolParameters
 from repro.core.runner import AgreementExperiment, run_trials
 from repro.exceptions import ConfigurationError
 from repro.simulator.vectorized import (
+    VECTORIZED_ADVERSARIES,
     VectorizedAgreementSimulator,
     run_vectorized_trials,
+    trial_generator,
 )
 
 
@@ -110,3 +112,113 @@ class TestCrossValidation:
         # Larger committees make each straddle more expensive, so the paper's
         # protocol should finish in no more rounds than Chor-Coan here.
         assert ours.mean_rounds <= chor_coan.mean_rounds + 2
+
+
+class TestBatchedEngine:
+    """The 2-D (B, n) batched path against the 1-D reference path."""
+
+    @pytest.mark.parametrize("protocol", ["committee-ba", "committee-ba-las-vegas",
+                                          "chor-coan", "chor-coan-las-vegas"])
+    @pytest.mark.parametrize("adversary", ["none", "straddle"])
+    def test_bit_identical_to_single_trial_runs_on_fixed_philox_keys(
+        self, protocol, adversary
+    ):
+        for inputs in ("split", "random", "unanimous-0", "unanimous-1"):
+            batched = run_vectorized_trials(
+                96, 18, protocol=protocol, adversary=adversary, inputs=inputs,
+                trials=6, seed=42, batch=True,
+            )
+            loop = run_vectorized_trials(
+                96, 18, protocol=protocol, adversary=adversary, inputs=inputs,
+                trials=6, seed=42, batch=False,
+            )
+            assert batched.results == loop.results, inputs
+
+    def test_bit_identity_holds_for_every_batched_adversary(self):
+        # The none/straddle identity is against the untouched seed path; the
+        # newer behaviours run through run_batch either way, so this checks
+        # batch-size independence (B=1 vs B=6) instead.
+        for adversary in VECTORIZED_ADVERSARIES:
+            batched = run_vectorized_trials(48, 8, adversary=adversary,
+                                            trials=6, seed=9, batch=True)
+            single = run_vectorized_trials(48, 8, adversary=adversary,
+                                           trials=6, seed=9, batch=False)
+            assert batched.results == single.results, adversary
+
+    def test_run_batch_validates_shapes(self):
+        simulator = _simulator(n=32, t=5)
+        rngs = [trial_generator(0, k) for k in range(3)]
+        with pytest.raises(ConfigurationError):
+            simulator.run_batch(np.zeros((3, 16), dtype=np.int8), rngs)
+        with pytest.raises(ConfigurationError):
+            simulator.run_batch(np.zeros((2, 32), dtype=np.int8), rngs)
+        assert simulator.run_batch(np.zeros((0, 32), dtype=np.int8), []) == []
+
+    def test_aggregate_carries_per_trial_results(self):
+        aggregate = run_vectorized_trials(64, 8, trials=5, seed=1)
+        assert len(aggregate.results) == 5
+        assert aggregate.mean_rounds == pytest.approx(
+            float(np.mean([result.rounds for result in aggregate.results]))
+        )
+        assert aggregate.max_rounds == max(result.rounds for result in aggregate.results)
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _simulator(adversary="jam-everything")
+
+
+class TestNewAdversaries:
+    """Vectorised silent/crash/random-noise against the object simulator."""
+
+    @pytest.mark.parametrize("adversary", ["silent", "crash", "random-noise"])
+    def test_statistically_consistent_with_object_simulator(self, adversary):
+        n, t, trials = 48, 8, 12
+        vec = run_vectorized_trials(n, t, adversary=adversary, inputs="split",
+                                    trials=trials, seed=5,
+                                    protocol="committee-ba-las-vegas")
+        obj = run_trials(
+            AgreementExperiment(n=n, t=t, protocol="committee-ba-las-vegas",
+                                adversary=adversary, inputs="split"),
+            num_trials=trials, base_seed=5,
+        )
+        assert vec.agreement_rate == obj.agreement_rate == 1.0
+        assert vec.validity_rate == obj.validity_rate == 1.0
+        assert vec.mean_phases == pytest.approx(obj.mean_phases, rel=0.6, abs=4.0)
+
+    @pytest.mark.parametrize("adversary", ["silent", "crash", "random-noise"])
+    @pytest.mark.parametrize("inputs", ["unanimous-0", "unanimous-1"])
+    def test_unanimous_inputs_decide_immediately_and_validly(self, adversary, inputs):
+        aggregate = run_vectorized_trials(48, 8, adversary=adversary, inputs=inputs,
+                                          trials=8, seed=2)
+        assert aggregate.agreement_rate == 1.0
+        assert aggregate.validity_rate == 1.0
+        assert aggregate.mean_phases <= 3.0
+        expected = 0 if inputs == "unanimous-0" else 1
+        assert all(result.decision == expected for result in aggregate.results)
+
+    def test_silent_matches_object_simulator_round_counts_exactly(self):
+        # With the first t nodes silenced every honest node sees the same
+        # failure-free residual network, so the phase count is deterministic.
+        vec = run_vectorized_trials(48, 8, adversary="silent", inputs="split",
+                                    trials=4, seed=3)
+        obj = run_trials(
+            AgreementExperiment(n=48, t=8, protocol="committee-ba-las-vegas",
+                                adversary="silent", inputs="split"),
+            num_trials=4, base_seed=3,
+        )
+        assert vec.mean_phases == obj.mean_phases
+        assert vec.mean_corrupted == obj.mean_corrupted == 8.0
+
+    def test_crash_straddles_are_costlier_than_byzantine_straddles(self):
+        # Crashing only removes shares, so the same budget buys fewer spoiled
+        # phases than the Byzantine straddle: crash must not exceed straddle.
+        crash = run_vectorized_trials(96, 18, adversary="crash", inputs="split",
+                                      trials=10, seed=7)
+        straddle = run_vectorized_trials(96, 18, adversary="straddle", inputs="split",
+                                         trials=10, seed=7)
+        assert crash.mean_phases <= straddle.mean_phases + 1.0
+
+    def test_random_noise_keeps_all_noisy_nodes_corrupted(self):
+        aggregate = run_vectorized_trials(48, 8, adversary="random-noise",
+                                          inputs="split", trials=6, seed=4)
+        assert all(result.corrupted == 8 for result in aggregate.results)
