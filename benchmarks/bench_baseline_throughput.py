@@ -1,0 +1,79 @@
+"""Throughput of the batched baseline kernels vs the object-simulator loop.
+
+Analogous to ``bench_engine_throughput.py`` for the committee engine: each
+probe runs the same configuration through ``repro.engine.run_sweep`` twice —
+once on the batched kernel (many trials) and once on the faithful object
+simulator (a single reference trial; at E9-landscape scale one object trial
+already costs seconds) — and asserts the per-trial speedup floor that makes
+the full E9 landscape at ``n >= 512`` affordable.  Measured speedups are
+recorded in ``benchmarks/results/summary.json`` so the perf trajectory stays
+machine-readable across PRs.
+
+The floor is deliberately far below typical measurements (hundreds to tens of
+thousands of x): it guards the *existence* of the fast path, not the exact
+constant, and leaves headroom for noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import update_summary
+from repro.engine import run_sweep
+
+#: Regression floor demanded of every probe (the issue's acceptance bar).
+MIN_KERNEL_SPEEDUP = 5.0
+
+#: (probe name, protocol, adversary, n, t, kernel trials, object trials).
+#: Both probes run at the full E9 landscape scale (n = 512); rabin's object
+#: reference is a single trial because one attacked 512-node object run
+#: already delivers ~4M messages through the Python scheduler.
+PROBES = (
+    ("rabin", "rabin", "coin-attack", 512, 64, 32, 1),
+    ("sampling-majority", "sampling-majority", "silent", 512, 1, 32, 1),
+)
+
+
+def _per_trial_seconds(protocol, adversary, n, t, trials, engine):
+    started = time.perf_counter()
+    sweep = run_sweep(
+        n, t, protocol=protocol, adversary=adversary, inputs="split",
+        trials=trials, base_seed=17, engine=engine,
+    )
+    elapsed = time.perf_counter() - started
+    assert sweep.engine == engine
+    assert sweep.agreement_rate == 1.0
+    return elapsed / trials, sweep
+
+
+def test_baseline_kernels_beat_the_object_loop():
+    """Every probe's batched kernel must beat the object loop per trial."""
+    for name, protocol, adversary, n, t, vec_trials, obj_trials in PROBES:
+        vec_seconds, vec = _per_trial_seconds(protocol, adversary, n, t, vec_trials,
+                                              "vectorized")
+        obj_seconds, obj = _per_trial_seconds(protocol, adversary, n, t, obj_trials,
+                                              "object")
+        speedup = obj_seconds / vec_seconds
+        print(
+            f"\n{name} (n={n}, t={t}): kernel {vec_seconds * 1000:.2f} ms/trial "
+            f"({vec_trials} trials), object {obj_seconds * 1000:.1f} ms/trial "
+            f"({obj_trials} trials), speedup {speedup:.1f}x "
+            f"(kernel mean rounds {vec.mean_rounds:.1f}, object {obj.mean_rounds:.1f})"
+        )
+        update_summary(
+            f"baseline-throughput/{name}",
+            {
+                "kind": "throughput",
+                "protocol": protocol,
+                "adversary": adversary,
+                "n": n,
+                "t": t,
+                "kernel_seconds_per_trial": vec_seconds,
+                "object_seconds_per_trial": obj_seconds,
+                "speedup": speedup,
+            },
+        )
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"{name} kernel only {speedup:.2f}x faster than the object loop "
+            f"(floor {MIN_KERNEL_SPEEDUP}x)"
+        )

@@ -90,6 +90,22 @@ def test_batched_vs_per_trial_loop_speedup():
         f"batched {batched_s * 1000:.1f} ms, per-trial loop {loop_s * 1000:.1f} ms, "
         f"speedup {speedup:.2f}x (identical results, mean phases {batched.mean_phases:.1f})"
     )
+    from benchmarks.harness import update_summary
+
+    update_summary(
+        "engine-throughput/committee-batched",
+        {
+            "kind": "throughput",
+            "protocol": "committee-ba-las-vegas",
+            "adversary": "coin-attack",
+            "n": SWEEP_N,
+            "t": SWEEP_T,
+            "trials": SWEEP_TRIALS,
+            "batched_seconds": batched_s,
+            "per_trial_loop_seconds": loop_s,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= MIN_BATCH_SPEEDUP, (
         f"batched engine only {speedup:.2f}x faster than the per-trial loop "
         f"(floor {MIN_BATCH_SPEEDUP}x)"

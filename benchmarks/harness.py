@@ -8,6 +8,11 @@ saving it under ``benchmarks/results/`` twice: the human-readable
 machine-readable ``<id>.json`` record (rows, notes and wall-clock timing) so
 CI and later changes can track the result/perf trajectory.
 
+All wall-clock timings are additionally folded into one consolidated
+``benchmarks/results/summary.json`` (one entry per experiment or throughput
+probe, via :func:`update_summary`), so the perf trajectory across PRs is
+machine-readable from a single file.
+
 Scale control
 -------------
 By default the quick sweeps are used so the whole benchmark suite completes in
@@ -27,12 +32,45 @@ from repro.metrics.reporting import ExperimentReport
 #: Directory where rendered experiment tables are written.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Consolidated machine-readable timing record, one entry per experiment or
+#: throughput probe, updated in place by every benchmark run.
+SUMMARY_PATH = RESULTS_DIR / "summary.json"
+
 
 def _json_cell(value: object) -> object:
     """Make one table cell JSON-serialisable (NumPy scalars -> Python)."""
     if hasattr(value, "item"):
         return value.item()
     return value
+
+
+def update_summary(entry_id: str, payload: dict) -> Path:
+    """Merge one timing entry into ``benchmarks/results/summary.json``.
+
+    Args:
+        entry_id: Stable key (an experiment id such as ``"E9"``, or a
+            throughput-probe name such as ``"baseline-throughput/rabin"``).
+        payload: JSON-serialisable record; a ``recorded_at`` timestamp is
+            stamped on automatically.
+
+    Returns:
+        The summary file's path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    summary: dict = {}
+    if SUMMARY_PATH.exists():
+        try:
+            summary = json.loads(SUMMARY_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            summary = {}
+    summary[entry_id] = {
+        **{key: _json_cell(value) for key, value in payload.items()},
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    SUMMARY_PATH.write_text(
+        json.dumps(dict(sorted(summary.items())), indent=2) + "\n", encoding="utf-8"
+    )
+    return SUMMARY_PATH
 
 
 def write_json_result(
@@ -54,6 +92,10 @@ def write_json_result(
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     output_path = RESULTS_DIR / f"{report.experiment_id}.json"
     output_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    update_summary(
+        report.experiment_id,
+        {"kind": "experiment", "mode": mode, "seconds": seconds, "rows": len(report.rows)},
+    )
     return output_path
 
 

@@ -18,6 +18,10 @@ group nodes into committees of appropriate size").  The implementation
 therefore subclasses :class:`CommitteeAgreementNode` and only overrides the
 parameter derivation, so that the two protocols differ in nothing but the
 committee geometry and the same adversaries attack both.
+
+For the same reason, batched sweeps of Chor–Coan run on the ``committee``
+kernel — the engine of :mod:`repro.simulator.vectorized` with this module's
+group geometry — rather than a kernel of their own.
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ The per-round relay obviously violates the CONGEST bandwidth budget; runs of
 this baseline therefore use non-strict CONGEST accounting and the violation
 count itself is reported as a result (it is the quantitative reason EIG does
 not scale).
+
+Batched sweeps run on the ``eig-tree`` kernel
+(:mod:`repro.baselines.kernels.eig`), which collapses the tree to a per-level
+majority recurrence under the mute/ignored fault behaviours and is
+bit-identical to this node.
 """
 
 from __future__ import annotations

@@ -1,0 +1,135 @@
+"""Batched NumPy kernels for the baseline protocols.
+
+PR 1 gave the paper's committee-BA family a batched multi-trial engine
+(:mod:`repro.simulator.vectorized`); this package extends the same treatment
+to the rest of the baseline landscape so the E9 comparison can run at
+thousand-node scale.  Each kernel executes a whole sweep of trials on
+``(B, n)`` boolean planes and reports the committee engine's result shapes,
+and each one is cross-validated against the object simulator — bit-identical
+where the per-trial randomness allows (Rabin's public dealer stream, the
+deterministic phase-king and EIG protocols), statistically otherwise (Ben-Or
+and sampling-majority consume per-node streams the kernels cannot replay).
+
+:data:`BASELINE_KERNELS` is the capability registry :mod:`repro.engine`
+merges with the committee engine's entries: it records, per protocol, the
+kernel entry point, which object-simulator adversaries have a modelled fault
+behaviour, and which optional knobs (``max_rounds``, protocol kwargs) the
+kernel honours.  ``run_sweep``/``select_engine`` consult the merged table to
+dispatch per ``(protocol, adversary)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.baselines.kernels.ben_or import BEN_OR_BEHAVIOURS, run_ben_or_trials
+from repro.baselines.kernels.coin import CoinTrialsResult, run_coin_trials
+from repro.baselines.kernels.common import VectorizedAggregate
+from repro.baselines.kernels.eig import EIG_BEHAVIOURS, run_eig_trials
+from repro.baselines.kernels.phase_king import (
+    PHASE_KING_BEHAVIOURS,
+    run_phase_king_trials,
+)
+from repro.baselines.kernels.rabin import RABIN_BEHAVIOURS, run_rabin_trials
+from repro.baselines.kernels.sampling_majority import (
+    SAMPLING_BEHAVIOURS,
+    run_sampling_majority_trials,
+)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Capability record for one protocol's batched kernel.
+
+    Attributes:
+        name: Kernel identifier shown in the engine-dispatch table.
+        run_trials: Sweep entry point with the
+            :func:`repro.simulator.vectorized.run_vectorized_trials`
+            signature convention
+            (``(n, t, *, adversary, inputs, trials, seed, ...)``).
+        behaviours: Object-simulator adversary name -> kernel fault behaviour.
+            Only pairs listed here take the vectorised fast path.
+        exact: Adversary names whose kernel runs are bit-identical to the
+            object simulator (everything else is statistically validated).
+        supports_params: Kernel accepts a committee-geometry override
+            (``params=``) and an ``alpha`` kwarg.
+        supports_max_rounds: Kernel honours an explicit round cap
+            (timed-out trials are reported, not mis-simulated).
+        protocol_kwargs: Protocol constructor kwargs the kernel reproduces;
+            any other kwarg forces the object path.
+    """
+
+    name: str
+    run_trials: Callable[..., VectorizedAggregate]
+    behaviours: Mapping[str, str]
+    exact: frozenset[str] = frozenset()
+    supports_params: bool = False
+    supports_max_rounds: bool = False
+    protocol_kwargs: frozenset[str] = frozenset()
+
+
+def _mapping(names: tuple[str, ...]) -> dict[str, str]:
+    """Object adversary name -> behaviour, with identity aliases.
+
+    ``null`` maps to the failure-free ``none`` behaviour; the kernel-side
+    behaviour names themselves are accepted as aliases so callers migrating
+    from direct kernel calls need not rename.
+    """
+    table = {behaviour: behaviour for behaviour in names}
+    if "none" in names:
+        table["null"] = "none"
+    if "straddle" in names:
+        table["coin-attack"] = "straddle"
+    return table
+
+
+#: protocol name -> baseline kernel capability record.  The committee-family
+#: protocols are registered by :mod:`repro.engine` itself (their kernel is
+#: the committee engine).
+BASELINE_KERNELS: dict[str, KernelSpec] = {
+    "rabin": KernelSpec(
+        name="dealer-coin",
+        run_trials=run_rabin_trials,
+        behaviours=_mapping(RABIN_BEHAVIOURS),
+        exact=frozenset({"null", "none", "silent"}),
+        protocol_kwargs=frozenset({"phases_factor"}),
+    ),
+    "ben-or": KernelSpec(
+        name="private-coin",
+        run_trials=run_ben_or_trials,
+        behaviours=_mapping(BEN_OR_BEHAVIOURS),
+        supports_max_rounds=True,
+        protocol_kwargs=frozenset({"phases_factor"}),
+    ),
+    "phase-king": KernelSpec(
+        name="phase-king",
+        run_trials=run_phase_king_trials,
+        behaviours=_mapping(PHASE_KING_BEHAVIOURS),
+        exact=frozenset({"null", "none", "silent", "static"}),
+    ),
+    "eig": KernelSpec(
+        name="eig-tree",
+        run_trials=run_eig_trials,
+        behaviours=_mapping(EIG_BEHAVIOURS),
+        exact=frozenset({"null", "none", "silent", "static"}),
+    ),
+    "sampling-majority": KernelSpec(
+        name="sampling-majority",
+        run_trials=run_sampling_majority_trials,
+        behaviours=_mapping(SAMPLING_BEHAVIOURS),
+        protocol_kwargs=frozenset({"iterations_factor", "sample_size"}),
+    ),
+}
+
+__all__ = [
+    "BASELINE_KERNELS",
+    "CoinTrialsResult",
+    "KernelSpec",
+    "run_ben_or_trials",
+    "run_coin_trials",
+    "run_eig_trials",
+    "run_phase_king_trials",
+    "run_rabin_trials",
+    "run_sampling_majority_trials",
+]

@@ -1,0 +1,189 @@
+"""Shared machinery for the batched baseline-protocol kernels.
+
+Every kernel in this package follows the conventions established by the
+committee engine (:mod:`repro.simulator.vectorized`):
+
+* a sweep of ``B`` trials executes simultaneously on ``(B, n)`` boolean
+  planes, with per-node updates expressed as XOR-blend boolean algebra and
+  per-row tallies computed by byte-packing + popcount;
+* trial ``k`` of master seed ``s`` draws its randomness from the
+  counter-based Philox generator keyed ``(s, k)``
+  (:func:`repro.simulator.vectorized.trial_generator`), so per-trial results
+  are independent of how trials are batched together;
+* results are reported as :class:`VectorizedRunResult` /
+  :class:`VectorizedAggregate`, the same shapes
+  :func:`repro.engine.run_sweep` folds into :class:`TrialSummary` lists.
+
+This module collects the pieces the kernels share: the per-trial input/RNG
+setup, corrupted-set construction for the uniform fault behaviours, and the
+batched agreement/validity finaliser.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import validate_n_t
+from repro.exceptions import ConfigurationError
+from repro.simulator.messages import (
+    CoinShare,
+    CombinedAnnouncement,
+    KingValue,
+    SampleReply,
+    SampleRequest,
+    ValueAnnouncement,
+)
+from repro.simulator.vectorized import (
+    VectorizedAggregate,
+    VectorizedRunResult,
+    aggregate_results,
+    row_popcount,
+    trial_generator,
+    trial_inputs,
+)
+
+__all__ = [
+    "PAYLOAD_BITS",
+    "VectorizedAggregate",
+    "VectorizedRunResult",
+    "aggregate_results",
+    "batch_setup",
+    "corrupted_columns",
+    "finalize_planes",
+    "row_popcount",
+    "trial_generator",
+    "trial_inputs",
+]
+
+#: CONGEST payload sizes (bits) by payload kind, derived from the live
+#: ``bit_size()`` definitions in :mod:`repro.simulator.messages` so the
+#: kernels' bit accounting can never drift from the object simulator's.
+PAYLOAD_BITS: dict[str, int] = {
+    payload.kind(): payload.bit_size()
+    for payload in (
+        ValueAnnouncement(phase=1, round_in_phase=1, value=0, decided=False),
+        CombinedAnnouncement(phase=1, value=0, decided=False, share=None),
+        CoinShare(phase=1, share=1),
+        KingValue(phase=1, value=0),
+        SampleRequest(phase=1),
+        SampleReply(phase=1, value=0),
+    )
+}
+
+
+def batch_setup(
+    n: int, inputs: str, trials: int, seed: int
+) -> tuple[np.ndarray, list[np.random.Generator]]:
+    """Materialise the ``(B, n)`` input plane and the per-trial generators.
+
+    Trial ``k`` uses the Philox key ``(seed, k)`` and — exactly as in the
+    committee engine — consumes randomness from its generator only for the
+    ``random`` input pattern, so deterministic-input sweeps leave the trial
+    streams untouched for the protocol itself.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rngs = [trial_generator(seed, k) for k in range(trials)]
+    rows = np.stack([trial_inputs(n, inputs, rng) for rng in rngs])
+    return rows, rngs
+
+
+def corrupted_columns(n: int, t: int, behaviour: str) -> np.ndarray:
+    """Initially-corrupted node mask for the uniform fault behaviours.
+
+    ``"none"`` corrupts nobody; ``"silent"`` mirrors
+    :class:`~repro.adversary.strategies.silence.SilentAdversary` (the first
+    ``min(t, n)`` ids); ``"static"`` mirrors
+    :class:`~repro.adversary.static.StaticAdversary`'s default target choice
+    (the ``t`` highest ids).  ``"straddle"`` starts with nobody corrupted —
+    the attack corrupts adaptively, inside the kernel loop.
+    """
+    mask = np.zeros(n, dtype=bool)
+    if behaviour in ("none", "straddle"):
+        return mask
+    if behaviour == "silent":
+        mask[: min(t, n)] = True
+        return mask
+    if behaviour == "static":
+        mask[max(0, n - t) :] = True
+        return mask
+    raise ConfigurationError(f"unknown kernel fault behaviour {behaviour!r}")
+
+
+def finalize_planes(
+    n: int,
+    t: int,
+    inputs: np.ndarray,
+    *,
+    output: np.ndarray,
+    corrupted: np.ndarray,
+    rounds: np.ndarray,
+    phases: np.ndarray,
+    messages: np.ndarray,
+    bits: np.ndarray,
+    timed_out: np.ndarray | None = None,
+) -> list[VectorizedRunResult]:
+    """Evaluate agreement/validity per trial and build the result list.
+
+    Mirrors the committee engine's finaliser: agreement and validity are
+    evaluated over the honest nodes' output plane, validity only binds when
+    the honest inputs were unanimous, and ``bits`` is passed explicitly
+    because the baselines use heterogeneous payload sizes (the committee
+    engine's flat 35-bit payload does not hold for king values, EIG reports
+    or sampling traffic).
+    """
+    validate_n_t(n, t)
+    batch = inputs.shape[0]
+    honest = ~corrupted
+    honest_count = row_popcount(honest)
+    has_honest = honest_count > 0
+    out_ones = row_popcount(output & honest)
+    agreement = (out_ones == 0) | (out_ones == honest_count)
+    in_ones = row_popcount(inputs.astype(bool) & honest)
+    unanimous_1 = has_honest & (in_ones == honest_count)
+    unanimous_0 = has_honest & (in_ones == 0)
+    validity = np.ones(batch, dtype=bool)
+    validity[unanimous_1] = out_ones[unanimous_1] == honest_count[unanimous_1]
+    validity[unanimous_0] = out_ones[unanimous_0] == 0
+    corrupted_count = row_popcount(corrupted)
+    if timed_out is None:
+        timed_out = np.zeros(batch, dtype=bool)
+
+    results = []
+    for b in range(batch):
+        agrees = bool(agreement[b])
+        decision: int | None = None
+        if agrees and has_honest[b]:
+            decision = 1 if out_ones[b] else 0
+        results.append(
+            VectorizedRunResult(
+                n=n,
+                t=t,
+                rounds=int(rounds[b]),
+                phases=int(phases[b]),
+                agreement=agrees,
+                validity=bool(validity[b]),
+                decision=decision,
+                corrupted=int(corrupted_count[b]),
+                messages=int(messages[b]),
+                bits=int(bits[b]),
+                timed_out=bool(timed_out[b]),
+            )
+        )
+    return results
+
+
+def aggregate(
+    n: int,
+    t: int,
+    protocol: str,
+    adversary: str,
+    results: Sequence[VectorizedRunResult],
+) -> VectorizedAggregate:
+    """Fold per-trial results into an aggregate carrying the trial tuple."""
+    import dataclasses
+
+    folded = aggregate_results(n, t, protocol, adversary, results)
+    return dataclasses.replace(folded, results=tuple(results))

@@ -1,0 +1,147 @@
+"""Batched kernel for the phase-king protocol.
+
+Phase king is deterministic, which makes its kernel *exact*: given the same
+inputs and fault behaviour, every field of every trial matches the object
+simulator bit for bit.  The kernel exploits the protocol's aggregate
+structure — every honest recipient of a round-1 exchange sees the same honest
+multiset, and the equivocating static adversary splits the honest nodes into
+just two recipient groups (low/high half), so per-recipient state collapses
+to at most two scalars per trial:
+
+* ``none`` / ``silent`` — one recipient group (corrupted nodes are mute);
+* ``static`` — two groups, mirroring
+  :class:`repro.adversary.static.StaticAdversary`: every corrupted node sends
+  value 0 to the low half of the honest ids and value 1 to the high half in
+  round 1 (its round-2 traffic is ignored by phase-king nodes, which only
+  read :class:`~repro.simulator.messages.KingValue` payloads from the king —
+  and the king ids ``0..t`` are never corrupted by the default static target
+  set for any legal ``n > 4t``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.kernels.common import (
+    PAYLOAD_BITS,
+    VectorizedAggregate,
+    aggregate,
+    batch_setup,
+    corrupted_columns,
+    finalize_planes,
+    row_popcount,
+)
+from repro.core.parameters import validate_n_t
+from repro.exceptions import ConfigurationError
+
+#: Fault behaviours this kernel models.
+PHASE_KING_BEHAVIOURS = ("none", "silent", "static")
+
+#: CONGEST payload sizes (bits), derived from repro.simulator.messages.
+_VALUE_ANNOUNCEMENT_BITS = PAYLOAD_BITS["ValueAnnouncement"]
+_COMBINED_ANNOUNCEMENT_BITS = PAYLOAD_BITS["CombinedAnnouncement"]
+_KING_VALUE_BITS = PAYLOAD_BITS["KingValue"]
+
+
+def run_phase_king_trials(
+    n: int,
+    t: int,
+    *,
+    adversary: str = "none",
+    inputs: str = "split",
+    trials: int = 10,
+    seed: int = 0,
+) -> VectorizedAggregate:
+    """Run ``trials`` batched executions of phase king (``n > 4t``)."""
+    validate_n_t(n, t)
+    if 4 * t >= n:
+        raise ConfigurationError(
+            f"the implemented phase-king variant requires n > 4t; got n={n}, t={t}"
+        )
+    if adversary not in PHASE_KING_BEHAVIOURS:
+        raise ConfigurationError(
+            f"phase-king kernel behaviour must be one of {PHASE_KING_BEHAVIOURS}, "
+            f"got {adversary!r}"
+        )
+    input_rows, _ = batch_setup(n, inputs, trials, seed)
+    batch = input_rows.shape[0]
+
+    corrupted_cols = corrupted_columns(n, t, adversary)
+    honest_cols = ~corrupted_cols
+    honest_ids = np.flatnonzero(honest_cols)
+    n_honest = len(honest_ids)
+    n_corrupt = n - n_honest
+
+    # Recipient groups: the static adversary equivocates along the sorted
+    # honest-id split; the mute behaviours need only one group.
+    if adversary == "static":
+        half = n_honest // 2
+        groups = [
+            (honest_ids[:half], n_corrupt, 0),  # low half hears t zeros
+            (honest_ids[half:], 0, n_corrupt),  # high half hears t ones
+        ]
+    else:
+        groups = [(honest_ids, 0, 0)]
+
+    value = input_rows.astype(bool).copy()
+    corrupted = np.tile(corrupted_cols, (batch, 1))
+    messages = np.zeros(batch, dtype=np.int64)
+    bits = np.zeros(batch, dtype=np.int64)
+    num_phases = t + 1
+
+    adversary_per_round = n_corrupt * n_honest if adversary == "static" else 0
+    for phase in range(1, num_phases + 1):
+        # ---------------- Round 1: universal exchange ----------------
+        messages += n_honest * n + adversary_per_round
+        bits += (
+            n_honest * n * _VALUE_ANNOUNCEMENT_BITS
+            + adversary_per_round * _VALUE_ANNOUNCEMENT_BITS
+        )
+        honest_ones = row_popcount(value & ~corrupted)
+        majority_value = []
+        majority_count = []
+        for _, extra_zeros, extra_ones in groups:
+            ones = honest_ones + extra_ones
+            zeros = (n_honest - honest_ones) + extra_zeros
+            maj = ones >= zeros  # ties break to 1, as in the object node
+            majority_value.append(maj)
+            majority_count.append(np.where(maj, ones, zeros))
+
+        # ---------------- Round 2: the king speaks ----------------
+        king = (phase - 1) % n
+        king_honest = bool(honest_cols[king])
+        if king_honest:
+            messages += n
+            bits += n * _KING_VALUE_BITS
+            king_group = 0
+            for g, (ids, _, _) in enumerate(groups):
+                if king in ids:
+                    king_group = g
+            king_value = majority_value[king_group]
+        messages += adversary_per_round
+        bits += adversary_per_round * _COMBINED_ANNOUNCEMENT_BITS
+
+        strong_threshold = n // 2 + t
+        for g, (ids, _, _) in enumerate(groups):
+            strong = majority_count[g] > strong_threshold
+            if king_honest:
+                new_value = np.where(strong, majority_value[g], king_value)
+            else:
+                # A silent (Byzantine) king: fall back to the group majority.
+                new_value = majority_value[g]
+            value[:, ids] = new_value[:, None]
+
+    rounds = np.full(batch, 2 * num_phases, dtype=np.int64)
+    phases = np.full(batch, num_phases, dtype=np.int64)
+    results = finalize_planes(
+        n,
+        t,
+        input_rows,
+        output=value,
+        corrupted=corrupted,
+        rounds=rounds,
+        phases=phases,
+        messages=messages,
+        bits=bits,
+    )
+    return aggregate(n, t, "phase-king", adversary, results)

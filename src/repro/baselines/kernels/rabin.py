@@ -1,0 +1,73 @@
+"""Batched kernel for Rabin's dealer-coin protocol.
+
+Runs the two-round phase skeleton with the ``"dealer"`` coin: one public
+Philox-derived bit per ``(trial, phase)``, drawn from exactly the stream
+:class:`repro.baselines.rabin.RabinDealerNode` consults, with trial ``k``'s
+dealer seed set to ``seed + k`` — the master seed the object runner hands that
+trial.  Because the dealer bit is the *only* randomness that influences the
+execution, the kernel is bit-identical to the object simulator (rounds,
+phases, messages, agreement, validity, decision) under the ``none`` and
+``silent`` behaviours; under ``straddle`` the adversary's spending depends on
+the honest share draws, so cross-validation is statistical.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kernels.common import (
+    VectorizedAggregate,
+    aggregate,
+    batch_setup,
+    finalize_planes,
+)
+from repro.baselines.kernels.phase_skeleton import run_phase_skeleton_batch
+from repro.baselines.rabin import rabin_parameters
+from repro.core.parameters import validate_n_t
+
+#: Fault behaviours this kernel models.
+RABIN_BEHAVIOURS = ("none", "silent", "straddle")
+
+
+def run_rabin_trials(
+    n: int,
+    t: int,
+    *,
+    adversary: str = "none",
+    inputs: str = "split",
+    trials: int = 10,
+    seed: int = 0,
+    phases_factor: float = 4.0,
+) -> VectorizedAggregate:
+    """Run ``trials`` batched executions of Rabin's protocol.
+
+    Mirrors :func:`repro.simulator.vectorized.run_vectorized_trials`: trial
+    ``k`` uses the Philox key ``(seed, k)`` for any private randomness and the
+    dealer seed ``seed + k`` for the public coin stream.
+    """
+    validate_n_t(n, t)
+    params = rabin_parameters(n, t, phases_factor=phases_factor)
+    input_rows, rngs = batch_setup(n, inputs, trials, seed)
+    state = run_phase_skeleton_batch(
+        n,
+        t,
+        input_rows,
+        rngs,
+        behaviour=adversary,
+        coin="dealer",
+        num_phases=params.num_phases,
+        las_vegas=False,
+        max_phases=params.num_phases,
+        dealer_seeds=[seed + k for k in range(trials)],
+    )
+    results = finalize_planes(
+        n,
+        t,
+        input_rows,
+        output=state["output"],
+        corrupted=state["corrupted"],
+        rounds=state["rounds"],
+        phases=state["phases"],
+        messages=state["messages"],
+        bits=state["bits"],
+        timed_out=state["timed_out"],
+    )
+    return aggregate(n, t, "rabin", adversary, results)

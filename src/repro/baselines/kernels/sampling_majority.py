@@ -1,0 +1,110 @@
+"""Batched kernel for the sampling-majority convergence dynamic.
+
+Each iteration of the Augustine–Pandurangan–Robinson process has every node
+sample the values of ``sample_size`` uniformly random nodes (two rounds:
+requests, then replies) and replace its own value by the majority of its value
+plus the samples it received.  The kernel runs all trials at once: one
+``(n, sample_size)`` peer draw per trial per iteration, a batched gather of
+the sampled values, and a vectorised majority update.
+
+Under the ``silent`` behaviour the corrupted nodes neither request nor reply,
+so a sample that lands on a corrupted peer simply contributes nothing to the
+voter's majority — exactly the object semantics of
+:class:`repro.baselines.sampling_majority.SamplingMajorityNode` under
+:class:`~repro.adversary.strategies.silence.SilentAdversary`.  The object
+simulator draws each node's samples from its own Philox stream, so the
+cross-validation is statistical (agreement rate, message volume), while the
+round count ``2 * ceil(iterations_factor * log2(n)^2)`` is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.kernels.common import (
+    PAYLOAD_BITS,
+    VectorizedAggregate,
+    aggregate,
+    batch_setup,
+    corrupted_columns,
+    finalize_planes,
+)
+from repro.core.parameters import validate_n_t
+from repro.exceptions import ConfigurationError
+
+#: Fault behaviours this kernel models.
+SAMPLING_BEHAVIOURS = ("none", "silent")
+
+#: CONGEST payload sizes (bits), derived from repro.simulator.messages.
+_REQUEST_BITS = PAYLOAD_BITS["SampleRequest"]
+_REPLY_BITS = PAYLOAD_BITS["SampleReply"]
+
+
+def run_sampling_majority_trials(
+    n: int,
+    t: int,
+    *,
+    adversary: str = "none",
+    inputs: str = "split",
+    trials: int = 10,
+    seed: int = 0,
+    iterations_factor: float = 2.0,
+    sample_size: int = 2,
+) -> VectorizedAggregate:
+    """Run ``trials`` batched executions of the sampling-majority process."""
+    validate_n_t(n, t)
+    if adversary not in SAMPLING_BEHAVIOURS:
+        raise ConfigurationError(
+            f"sampling-majority kernel behaviour must be one of {SAMPLING_BEHAVIOURS}, "
+            f"got {adversary!r}"
+        )
+    input_rows, rngs = batch_setup(n, inputs, trials, seed)
+    batch = input_rows.shape[0]
+    log_n = max(1.0, math.log2(max(2, n)))
+    num_iterations = max(1, math.ceil(iterations_factor * log_n * log_n))
+    sample_size = max(1, sample_size)
+
+    corrupted_cols = corrupted_columns(n, t, adversary)
+    honest_cols = ~corrupted_cols
+    n_honest = int(honest_cols.sum())
+
+    value = input_rows.astype(bool).copy()
+    corrupted = np.tile(corrupted_cols, (batch, 1))
+    messages = np.zeros(batch, dtype=np.int64)
+    bits = np.zeros(batch, dtype=np.int64)
+
+    for _ in range(num_iterations):
+        peers = np.stack(
+            [rngs[b].integers(0, n, size=(n, sample_size)) for b in range(batch)]
+        )
+        peer_honest = honest_cols[peers]
+        sampled = (
+            np.take_along_axis(value, peers.reshape(batch, n * sample_size), axis=1)
+            .reshape(batch, n, sample_size)
+        )
+        ones = value.astype(np.int64) + (sampled & peer_honest).sum(axis=2)
+        totals = 1 + peer_honest.sum(axis=2)
+        new_value = 2 * ones > totals
+        value ^= (value ^ new_value) & honest_cols[None, :]
+
+        # Requests from every honest node; a reply per request that landed on
+        # an honest peer (honest nodes answer everyone who sampled them).
+        replies = peer_honest[:, honest_cols, :].sum(axis=(1, 2))
+        requests = n_honest * sample_size
+        messages += requests + replies
+        bits += requests * _REQUEST_BITS + replies * _REPLY_BITS
+
+    results = finalize_planes(
+        n,
+        t,
+        input_rows,
+        output=value,
+        corrupted=corrupted,
+        rounds=np.full(batch, 2 * num_iterations, dtype=np.int64),
+        phases=np.full(batch, num_iterations, dtype=np.int64),
+        messages=messages,
+        bits=bits,
+    )
+    return aggregate(n, t, "sampling-majority", adversary, results)

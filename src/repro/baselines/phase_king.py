@@ -15,6 +15,10 @@ The paper cites the deterministic ``Theta(t)``-round protocols as the
 pre-randomization state of the art; this baseline supplies that curve in the
 round-complexity experiments (E1/E9) and demonstrates the ``t + 1``-round
 lower bound for deterministic protocols being broken by the randomized ones.
+
+Batched sweeps run on the ``phase-king`` kernel
+(:mod:`repro.baselines.kernels.phase_king`); the protocol is deterministic,
+so the kernel is bit-identical to this node under the modelled behaviours.
 """
 
 from __future__ import annotations

@@ -14,6 +14,11 @@ The dealer is simulated by a pseudo-random stream keyed by a public
 ``dealer_seed`` shared by all nodes: the coin for phase ``i`` is the ``i``-th
 bit of that stream.  There is no cryptographic hiding — consistent with the
 full-information model, the adversary is assumed to know the coin values.
+
+Batched sweeps run on the ``dealer-coin`` kernel
+(:mod:`repro.baselines.kernels.rabin`), which replays the same public dealer
+stream and is therefore bit-identical to this node under the failure-free and
+silent behaviours.
 """
 
 from __future__ import annotations
@@ -24,6 +29,27 @@ from repro.core.agreement import CommitteeAgreementNode
 from repro.core.parameters import ProtocolParameters, Regime, log2n
 
 import math
+
+
+#: Domain tag mixed into the dealer's Philox key, keeping the public coin
+#: stream separated from the node/adversary/environment stream domains.
+_DEALER_DOMAIN = 0x0D
+
+
+def dealer_coin_bit(dealer_seed: int, phase: int) -> int:
+    """The dealer's public coin for ``phase`` (identical at every node).
+
+    Single source of truth for the dealer stream: both
+    :class:`RabinDealerNode` and the batched ``dealer-coin`` kernel
+    (:mod:`repro.baselines.kernels.rabin`) call this, which is what makes the
+    kernel bit-identical to the object simulator.
+    """
+    mask = (1 << 64) - 1
+    key = np.array(
+        [(int(dealer_seed) ^ (_DEALER_DOMAIN << 56)) & mask, phase & mask], dtype=np.uint64
+    )
+    stream = np.random.Generator(np.random.Philox(key=key))
+    return int(stream.integers(0, 2))
 
 
 def rabin_parameters(n: int, t: int, *, phases_factor: float = 4.0) -> ProtocolParameters:
@@ -68,10 +94,4 @@ class RabinDealerNode(CommitteeAgreementNode):
         self.dealer_seed = int(dealer_seed)
 
     def _phase_coin(self, phase: int, shares: dict[int, int]) -> int:
-        """The dealer's public coin for ``phase`` (identical at every node)."""
-        mask = (1 << 64) - 1
-        key = np.array(
-            [(self.dealer_seed ^ (0x0D << 56)) & mask, phase & mask], dtype=np.uint64
-        )
-        stream = np.random.Generator(np.random.Philox(key=key))
-        return int(stream.integers(0, 2))
+        return dealer_coin_bit(self.dealer_seed, phase)

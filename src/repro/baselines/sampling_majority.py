@@ -15,6 +15,10 @@ requests, then replies).  The protocol is a convergence dynamic rather than a
 terminating agreement protocol, so it simply runs a fixed
 ``ceil(iterations_factor * log2(n)^2)`` iterations and then outputs its value;
 the experiment reports the empirical agreement rate.
+
+Batched sweeps run on the ``sampling-majority`` kernel
+(:mod:`repro.baselines.kernels.sampling_majority`), cross-validated
+statistically against this node (samples come from per-node streams).
 """
 
 from __future__ import annotations

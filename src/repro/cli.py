@@ -20,8 +20,11 @@ Python:
     ``--full`` for the EXPERIMENTS.md-scale sweep).
 
 ``engines``
-    Print the engine-dispatch table: which protocol × adversary pairs run on
-    the vectorised fast path under ``--engine auto``.
+    Print the engine-support tables: one row per protocol (which batched
+    kernel implements it, which adversaries it vectorises) followed by the
+    full protocol × adversary dispatch table used by ``--engine auto``,
+    including whether each fast-path pair is bit-identical to the object
+    simulator or statistically cross-validated.
 
 Examples::
 
@@ -45,7 +48,7 @@ from repro.core.runner import (
     AgreementExperiment,
     run_agreement,
 )
-from repro.engine import ENGINES, dispatch_table, run_sweep
+from repro.engine import ENGINES, dispatch_table, kernel_support_table, run_sweep
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
 
@@ -150,6 +153,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_engines(args: argparse.Namespace) -> int:
+    print("per-protocol engine support:")
+    print(format_table(kernel_support_table()))
+    print("\nprotocol x adversary dispatch (--engine auto):")
     print(format_table(dispatch_table()))
     return 0
 

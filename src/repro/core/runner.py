@@ -13,7 +13,10 @@ This module is the front door used by the examples, tests and benchmarks:
 
 Protocols and adversaries are referred to by short names (see
 :data:`PROTOCOLS` and :data:`ADVERSARIES`) so that experiment configurations
-are plain data.
+are plain data.  Multi-trial dispatch — including the batched vectorised
+kernels registered per protocol in :data:`repro.engine.PROTOCOL_KERNELS` —
+lives in :func:`repro.engine.run_sweep`; :func:`run_trials` here is the
+always-object-simulator wrapper around it.
 """
 
 from __future__ import annotations
@@ -432,10 +435,11 @@ def run_trials(
 
     Trial ``k`` uses master seed ``base_seed + k``, so sweeps are reproducible
     and trivially parallelisable by seed range.  Dispatch (including the
-    optional multiprocessing seed-range executor, selected via ``workers``)
-    lives in :func:`repro.engine.run_sweep`; this wrapper always uses the
-    faithful object simulator and returns the same per-trial results
-    regardless of worker count.
+    optional multiprocessing seed-range executor, selected via ``workers``,
+    and the per-protocol batched kernels) lives in
+    :func:`repro.engine.run_sweep`; this wrapper always uses the faithful
+    object simulator and returns the same per-trial results regardless of
+    worker count.
     """
     from repro.engine import run_sweep
 

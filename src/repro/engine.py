@@ -5,11 +5,14 @@ Every multi-trial experiment in the repository is a *sweep*: the same
 range.  Three executors can run a sweep:
 
 ``vectorized``
-    The batched NumPy engine (:mod:`repro.simulator.vectorized`): all trials
-    execute simultaneously on ``(trials, n)`` arrays.  Available for the
-    committee-family protocols under the adversary behaviours the engine
-    models; orders of magnitude faster than the object simulator and the only
-    practical option at thousand-node scale.
+    A batched NumPy kernel: all trials execute simultaneously on
+    ``(trials, n)`` arrays.  The committee-family protocols run on the engine
+    of :mod:`repro.simulator.vectorized`; every other baseline protocol has a
+    dedicated kernel in :mod:`repro.baselines.kernels`.  Which
+    ``(protocol, adversary)`` pairs qualify is recorded in the
+    :data:`PROTOCOL_KERNELS` capability registry; qualifying sweeps run orders
+    of magnitude faster than the object simulator and are the only practical
+    option at thousand-node scale.
 
 ``object``
     The faithful per-message object simulator
@@ -24,7 +27,8 @@ range.  Three executors can run a sweep:
 :func:`run_sweep` auto-dispatches between them (``engine="auto"``) or obeys an
 explicit choice.  The decision logic is exposed separately as
 :func:`select_engine` so callers (and the README's dispatch table) can see
-which configurations take the fast path.
+which configurations take the fast path.  :func:`run_coin_sweep` provides the
+same dispatch for the standalone common-coin Monte-Carlo (experiment E2).
 """
 
 from __future__ import annotations
@@ -32,8 +36,17 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
+import numpy as np
+
+from repro.baselines.kernels import (
+    BASELINE_KERNELS,
+    CoinTrialsResult,
+    KernelSpec,
+    run_coin_trials,
+)
 from repro.core.parameters import ProtocolParameters
 from repro.core.runner import (
     ADVERSARIES,
@@ -43,21 +56,13 @@ from repro.core.runner import (
     TrialSummary,
     run_single_trial,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulator.vectorized import run_vectorized_trials
 
 #: Engine names accepted by :func:`run_sweep`.
 ENGINES = ("auto", "vectorized", "object", "object-mp")
 
-#: Protocols with a vectorised implementation.
-VECTORIZED_PROTOCOLS = (
-    "committee-ba",
-    "committee-ba-las-vegas",
-    "chor-coan",
-    "chor-coan-las-vegas",
-)
-
-#: Object-simulator adversary names -> vectorised engine behaviours.  The
+#: Object-simulator adversary names -> committee-engine behaviours.  The
 #: vectorised names themselves are accepted as aliases so existing callers of
 #: ``run_vectorized_trials`` can migrate without renaming.
 ADVERSARY_FAST_PATH = {
@@ -69,6 +74,44 @@ ADVERSARY_FAST_PATH = {
     "crash": "crash",
     "random-noise": "random-noise",
 }
+
+#: The committee engine's bit-identity guarantee is against its own
+#: single-trial vectorised path (same (seed, k) Philox keys), not the object
+#: simulator — the object nodes draw committee shares from per-node streams —
+#: so every committee fast-path pair is recorded as statistically validated.
+_COMMITTEE_EXACT: frozenset[str] = frozenset()
+
+
+def _committee_spec(protocol: str) -> KernelSpec:
+    """Capability record for one committee-family protocol."""
+    return KernelSpec(
+        name="committee",
+        run_trials=partial(run_vectorized_trials, protocol=protocol),
+        behaviours=ADVERSARY_FAST_PATH,
+        exact=_COMMITTEE_EXACT,
+        supports_params=True,
+        protocol_kwargs=frozenset({"alpha"}),
+    )
+
+
+#: protocol -> kernel capability record: which adversaries (and options) have
+#: a vectorised fast path.  Committee-family entries point at the committee
+#: engine; the baselines bring their own kernels.
+PROTOCOL_KERNELS: dict[str, KernelSpec] = {
+    **{
+        protocol: _committee_spec(protocol)
+        for protocol in (
+            "committee-ba",
+            "committee-ba-las-vegas",
+            "chor-coan",
+            "chor-coan-las-vegas",
+        )
+    },
+    **BASELINE_KERNELS,
+}
+
+#: Protocols with a vectorised implementation (for some adversaries).
+VECTORIZED_PROTOCOLS = tuple(sorted(PROTOCOL_KERNELS))
 
 #: Below this much estimated work (``trials * n^2`` message deliveries) the
 #: process-pool startup cost outweighs the parallelism.
@@ -94,21 +137,24 @@ def vectorizable(
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> bool:
-    """True when the configuration has an exact vectorised equivalent.
+    """True when the configuration has a modelled vectorised equivalent.
 
-    Custom round caps, protocol kwargs beyond ``alpha`` and any adversary
-    kwargs (e.g. explicit target lists or per-phase spend limits) are
-    object-simulator features, so they force the object path.
+    The decision is a :data:`PROTOCOL_KERNELS` lookup: the pair must have a
+    registered fault behaviour, any custom round cap must be honoured by the
+    kernel, protocol kwargs must be within the kernel's modelled set, and any
+    adversary kwargs (e.g. explicit target lists or per-phase spend limits)
+    force the object path.
     """
-    if protocol not in VECTORIZED_PROTOCOLS:
+    spec = PROTOCOL_KERNELS.get(protocol)
+    if spec is None:
         return False
-    if adversary not in ADVERSARY_FAST_PATH:
+    if adversary not in spec.behaviours:
         return False
-    if max_rounds is not None:
+    if max_rounds is not None and not spec.supports_max_rounds:
         return False
     if adversary_kwargs:
         return False
-    if protocol_kwargs and set(protocol_kwargs) - {"alpha"}:
+    if protocol_kwargs and set(protocol_kwargs) - set(spec.protocol_kwargs):
         return False
     return True
 
@@ -129,8 +175,8 @@ def select_engine(
 
     Raises:
         ConfigurationError: For unknown engine names, or when
-            ``engine="vectorized"`` is forced for a configuration the
-            vectorised engine cannot reproduce.
+            ``engine="vectorized"`` is forced for a configuration no kernel
+            models.
     """
     if engine not in ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; available: {ENGINES}")
@@ -144,7 +190,7 @@ def select_engine(
     if engine == "vectorized":
         if not fast:
             raise ConfigurationError(
-                f"no vectorized equivalent for protocol={protocol!r} "
+                f"no vectorized kernel for protocol={protocol!r} "
                 f"adversary={adversary!r} with the given options; "
                 "use engine='object' (or 'auto')"
             )
@@ -206,23 +252,40 @@ def _run_vectorized_sweep(
     base_seed: int,
     params: ProtocolParameters | None,
 ) -> list[TrialSummary]:
-    """Batched vectorised sweep, summarised in the object-sweep format.
+    """Batched kernel sweep, summarised in the object-sweep format.
 
     Trial ``k`` uses the counter-based Philox key ``(base_seed, k)``; the
     recorded per-trial ``seed`` is ``k`` (the key counter), matching
     :func:`repro.simulator.vectorized.run_vectorized_trials`.
     """
-    aggregate = run_vectorized_trials(
+    spec = PROTOCOL_KERNELS[experiment.protocol]
+    kwargs: dict[str, Any] = {
+        key: value
+        for key, value in experiment.protocol_kwargs.items()
+        if key in spec.protocol_kwargs
+    }
+    if spec.supports_params:
+        kwargs["params"] = params
+        if experiment.alpha is not None:
+            kwargs["alpha"] = experiment.alpha
+        else:
+            kwargs.setdefault("alpha", 4.0)
+    if spec.supports_max_rounds and experiment.max_rounds is not None:
+        kwargs["max_rounds"] = experiment.max_rounds
+    aggregate = spec.run_trials(
         experiment.n,
         experiment.t,
-        protocol=experiment.protocol,
-        adversary=ADVERSARY_FAST_PATH[experiment.adversary],
+        adversary=spec.behaviours[experiment.adversary],
         inputs=experiment.inputs,
         trials=trials,
         seed=base_seed,
-        alpha=experiment.alpha if experiment.alpha is not None else 4.0,
-        params=params,
+        **kwargs,
     )
+    if not experiment.allow_timeout and any(r.timed_out for r in aggregate.results):
+        raise SimulationError(
+            f"{experiment.protocol} sweep exceeded its round cap; "
+            "pass allow_timeout=True to accept censored trials"
+        )
     return [
         TrialSummary(
             seed=k,
@@ -265,19 +328,21 @@ def run_sweep(
     the configuration with ``n``/``t`` and the keyword fields.
 
     Args:
-        engine: ``"auto"`` (default) picks the vectorised engine whenever the
-            configuration has an exact fast-path equivalent and otherwise
-            falls back to the object simulator, escalating to the
-            multiprocessing seed-range executor for large sweeps;
-            ``"vectorized"`` / ``"object"`` / ``"object-mp"`` force a path
-            (``"object"`` never spawns processes).
+        engine: ``"auto"`` (default) picks the batched vectorised kernel
+            whenever :data:`PROTOCOL_KERNELS` registers one for the
+            ``(protocol, adversary)`` pair and otherwise falls back to the
+            object simulator, escalating to the multiprocessing seed-range
+            executor for large sweeps; ``"vectorized"`` / ``"object"`` /
+            ``"object-mp"`` force a path (``"object"`` never spawns
+            processes).
         workers: Process count for the seed-range executor (``None`` = one
             per CPU).  Results never depend on it.
-        params: Committee-geometry override for the vectorised engine (used
-            by E3 to decouple the declared ``t`` from the attack budget).
+        params: Committee-geometry override for the committee-family kernels
+            (used by E3 to decouple the declared ``t`` from the attack
+            budget).
         trials: Number of independent trials; trial ``k`` uses master seed
             ``base_seed + k`` (object engines) or Philox key
-            ``(base_seed, k)`` (vectorised engine).
+            ``(base_seed, k)`` (vectorised kernels).
 
     Returns:
         A :class:`SweepResult` whose ``trials`` list and aggregate properties
@@ -315,9 +380,13 @@ def run_sweep(
         protocol_kwargs=experiment.protocol_kwargs,
         adversary_kwargs=experiment.adversary_kwargs,
     )
-    if params is not None and chosen != "vectorized":
+    if params is not None and (
+        chosen != "vectorized"
+        or not PROTOCOL_KERNELS[experiment.protocol].supports_params
+    ):
         raise ConfigurationError(
-            "a committee-geometry override (params=) requires the vectorized engine"
+            "a committee-geometry override (params=) requires a vectorized "
+            "committee-family kernel"
         )
 
     if chosen == "vectorized":
@@ -329,13 +398,64 @@ def run_sweep(
     return SweepResult(experiment=experiment, trials=summaries, engine=chosen)
 
 
+# ----------------------------------------------------------------------
+# Common-coin Monte-Carlo dispatch (experiment E2)
+# ----------------------------------------------------------------------
+def run_coin_sweep(
+    n: int,
+    budget: int,
+    *,
+    trials: int = 100,
+    base_seed: int = 0,
+    engine: str = "auto",
+) -> CoinTrialsResult:
+    """Monte-Carlo sweep of the standalone common coin under the straddle.
+
+    ``engine="auto"``/``"vectorized"`` runs the batched kernel
+    (:func:`repro.baselines.kernels.run_coin_trials`): the whole
+    ``(trials, n)`` flip plane is drawn at once and every trial's outcome is
+    evaluated vectorised.  ``engine="object"`` repeats
+    :func:`repro.core.common_coin.run_common_coin` with the full scheduler and
+    a live :class:`~repro.adversary.strategies.coin_attack.CoinAttackAdversary`
+    over seeds ``base_seed + k`` — the serial loop experiment E2 originally
+    shipped, kept for cross-validation.  The two draw different randomness, so
+    they agree statistically, not bit-for-bit.
+    """
+    if engine in ("auto", "vectorized"):
+        return run_coin_trials(n, budget, trials=trials, seed=base_seed)
+    if engine != "object":
+        raise ConfigurationError(
+            f"unknown coin-sweep engine {engine!r}; "
+            "available: ('auto', 'vectorized', 'object')"
+        )
+    from repro.adversary.strategies.coin_attack import CoinAttackAdversary
+    from repro.core.common_coin import run_common_coin
+
+    common = np.zeros(trials, dtype=bool)
+    values = np.zeros(trials, dtype=np.int8)
+    for k in range(trials):
+        outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=base_seed + k)
+        common[k] = outcome.common
+        values[k] = outcome.value or 0
+    return CoinTrialsResult(
+        n=n, budget=budget, trials=trials, common=common, values=values, engine="object"
+    )
+
+
+# ----------------------------------------------------------------------
+# Introspection tables (README / `python -m repro engines`)
+# ----------------------------------------------------------------------
 def dispatch_table() -> list[dict[str, str]]:
     """One row per protocol × adversary pair: which engine ``auto`` picks.
 
-    Rendered in the README and by ``python -m repro engines``.
+    Rendered in the README and by ``python -m repro engines``.  ``kernel``
+    names the batched kernel serving the fast path and ``validation`` records
+    whether that pair is bit-identical to the object simulator or
+    statistically cross-validated.
     """
     rows = []
     for protocol in sorted(PROTOCOLS):
+        spec = PROTOCOL_KERNELS.get(protocol)
         for adversary in sorted(ADVERSARIES):
             fast = vectorizable(protocol, adversary)
             rows.append(
@@ -343,20 +463,54 @@ def dispatch_table() -> list[dict[str, str]]:
                     "protocol": protocol,
                     "adversary": adversary,
                     "auto engine": "vectorized" if fast else "object",
-                    "fast-path behaviour": ADVERSARY_FAST_PATH[adversary]
-                    if fast
-                    else "-",
+                    "kernel": spec.name if fast and spec else "-",
+                    "fast-path behaviour": spec.behaviours[adversary] if fast and spec else "-",
+                    "validation": (
+                        ("exact" if adversary in spec.exact else "statistical")
+                        if fast and spec
+                        else "-"
+                    ),
                 }
             )
+    return rows
+
+
+def kernel_support_table() -> list[dict[str, str]]:
+    """One row per protocol: its kernel and the adversaries it vectorises."""
+    rows = []
+    for protocol in sorted(PROTOCOLS):
+        spec = PROTOCOL_KERNELS.get(protocol)
+        if spec is None:
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "kernel": "-",
+                    "vectorized adversaries": "-",
+                    "max_rounds": "-",
+                }
+            )
+            continue
+        supported = sorted(name for name in spec.behaviours if name in ADVERSARIES)
+        rows.append(
+            {
+                "protocol": protocol,
+                "kernel": spec.name,
+                "vectorized adversaries": ", ".join(supported),
+                "max_rounds": "yes" if spec.supports_max_rounds else "object only",
+            }
+        )
     return rows
 
 
 __all__ = [
     "ADVERSARY_FAST_PATH",
     "ENGINES",
+    "PROTOCOL_KERNELS",
     "SweepResult",
     "VECTORIZED_PROTOCOLS",
     "dispatch_table",
+    "kernel_support_table",
+    "run_coin_sweep",
     "run_sweep",
     "select_engine",
     "vectorizable",

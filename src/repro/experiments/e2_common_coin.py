@@ -16,27 +16,32 @@ rushing straddle attack, as a function of the number of flippers, with the
 Byzantine budget set to ``floor(sqrt(k)/2)``.  Three reference columns:
 the paper's Paley–Zygmund bound (1/12-style), the exact anti-concentration
 probability, and the measured rate.
+
+The sweep dispatches through :func:`repro.engine.run_coin_sweep`: the batched
+kernel evaluates the whole ``(trials, n)`` flip plane at once, which is why
+the full sweep can afford tens of thousands of trials per point where the
+seed's serial scheduler loop ran 150.  ``engine="object"`` reproduces that
+serial loop (cross-validated statistically in the test-suite).
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.adversary.strategies.coin_attack import CoinAttackAdversary
 from repro.analysis.paley_zygmund import (
     coin_success_lower_bound,
     exact_common_coin_probability,
     sum_exceeds_probability,
 )
 from repro.analysis.statistics import success_rate
-from repro.core.common_coin import run_common_coin
+from repro.engine import run_coin_sweep
 from repro.metrics.reporting import ExperimentReport
 
-QUICK_SWEEP = ([9, 16, 36, 64], 60)
-FULL_SWEEP = ([16, 36, 64, 144, 256], 150)
+QUICK_SWEEP = ([9, 16, 36, 64], 400)
+FULL_SWEEP = ([16, 36, 64, 144, 256, 576, 1024], 20000)
 
 
-def run(quick: bool = True) -> ExperimentReport:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentReport:
     """Run the E2 Monte-Carlo estimate and return the report."""
     sizes, trials = QUICK_SWEEP if quick else FULL_SWEEP
     report = ExperimentReport(
@@ -55,13 +60,9 @@ def run(quick: bool = True) -> ExperimentReport:
     )
     for n in sizes:
         budget = int(math.floor(0.5 * math.sqrt(n)))
-        common = 0
-        ones = 0
-        for seed in range(trials):
-            outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=seed)
-            if outcome.common:
-                common += 1
-                ones += outcome.value or 0
+        sweep = run_coin_sweep(n, budget, trials=trials, base_seed=0, engine=engine)
+        common = sweep.common_count
+        ones = sweep.ones_given_common
         estimate = success_rate(common, trials)
         report.add_row(
             {

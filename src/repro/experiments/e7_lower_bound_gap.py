@@ -14,6 +14,11 @@ adaptive *crash* attack (the fault model of the lower bound), against the
 analytic lower-bound curve and the paper's upper bound.  The reported gap is
 measured rounds divided by the analytic lower bound; the claim is that it
 grows only polylogarithmically in ``n``.
+
+Both sweeps dispatch through :func:`repro.engine.run_sweep` (one dispatch
+path for every experiment); since PR 1's crash behaviour is vectorised, the
+crash rows now cover every ``n`` in the sweep rather than stopping at the
+object simulator's practical cap.
 """
 
 from __future__ import annotations
@@ -21,12 +26,11 @@ from __future__ import annotations
 import math
 
 from repro.core.parameters import lower_bound_bar_joseph_ben_or, predicted_rounds
-from repro.core.runner import AgreementExperiment, run_trials
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
-from repro.simulator.vectorized import run_vectorized_trials
 
-QUICK_CONFIG = ([64, 144, 256], 6, 36)
-FULL_CONFIG = ([256, 576, 1024, 2304, 4096], 15, 64)
+QUICK_CONFIG = ([64, 144, 256], 6, 256)
+FULL_CONFIG = ([256, 576, 1024, 2304, 4096], 15, 4096)
 
 
 def run(quick: bool = True) -> ExperimentReport:
@@ -42,19 +46,15 @@ def run(quick: bool = True) -> ExperimentReport:
     report.add_note("polylog_budget = log2(n)^2, the allowance within which the gap should stay")
     for n in sizes:
         t = int(math.isqrt(n))
-        byzantine = run_vectorized_trials(
-            n, t, protocol="committee-ba-las-vegas", adversary="straddle",
-            inputs="split", trials=trials, seed=7000 + n,
+        byzantine = run_sweep(
+            n, t, protocol="committee-ba-las-vegas", adversary="coin-attack",
+            inputs="split", trials=trials, base_seed=7000 + n,
         )
         crash_rounds = None
         if n <= crash_n_cap:
-            crash = run_trials(
-                AgreementExperiment(
-                    n=n, t=t, protocol="committee-ba-las-vegas", adversary="crash",
-                    inputs="split",
-                ),
-                num_trials=max(3, trials // 2),
-                base_seed=7100 + n,
+            crash = run_sweep(
+                n, t, protocol="committee-ba-las-vegas", adversary="crash",
+                inputs="split", trials=max(3, trials // 2), base_seed=7100 + n,
             )
             crash_rounds = crash.mean_rounds
         lower = lower_bound_bar_joseph_ben_or(n, t)

@@ -11,22 +11,31 @@ Paper claims (qualitative, from the introduction and related work)
 
 Experiment
 ----------
-Run every protocol in the repository on a common small network under a common
-adversary (silent faults — the strongest adversary all baselines tolerate) and
-report rounds, messages and agreement rate, placing the whole landscape in one
-table.  The paper's protocol and the randomized baselines additionally run
-under their strongest applicable adversary.
+Run every protocol in the repository on a common network under its strongest
+applicable adversary and report rounds, messages and agreement rate, placing
+the whole landscape in one table.  Every row dispatches through
+:func:`repro.engine.run_sweep`; with the baseline kernels of
+:mod:`repro.baselines.kernels` the whole landscape takes the batched
+vectorised path, which is what allows the full sweep to run at ``n = 512``
+(the seed's object-simulator landscape was capped at ``n = 25``).  EIG is the
+one exception: its message size grows as ``n^(t+1)``, so its row is capped at
+a small network — that blow-up is the point the paper makes about
+deterministic protocols, and the ``n`` column records the cap.
 """
 
 from __future__ import annotations
 
-from repro.core.runner import AgreementExperiment, run_trials
+from repro.core.runner import AgreementExperiment
+from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
 
+#: (n, default t, trials per protocol)
 QUICK_CONFIG = (13, 3, 4)
-FULL_CONFIG = (25, 6, 8)
+FULL_CONFIG = (512, 64, 48)
 
-#: protocol -> (t override or None, adversary, extra experiment kwargs)
+#: protocol -> (t override or None, adversary, extra experiment kwargs).
+#: ``n_cap`` caps a protocol's network size (EIG's tree is exponential);
+#: ``max_rounds`` censors protocols without a bounded schedule (Ben-Or).
 LANDSCAPE = [
     ("committee-ba", None, "coin-attack", {}),
     ("committee-ba-las-vegas", None, "coin-attack", {}),
@@ -36,44 +45,64 @@ LANDSCAPE = [
     # are censored at max_rounds, so its reported rounds are a lower bound.
     ("ben-or", 1, "silent", {"max_rounds": 2000}),
     ("phase-king", "quarter", "static", {}),
-    ("eig", 2, "static", {}),
+    ("eig", 2, "static", {"n_cap": 13}),
     ("sampling-majority", 1, "silent", {}),
 ]
 
 
-def run(quick: bool = True) -> ExperimentReport:
-    """Run the E9 landscape comparison and return the report."""
-    n, t_default, trials = QUICK_CONFIG if quick else FULL_CONFIG
+def landscape_t(t_spec, n: int, t_default: int) -> int:
+    """Resolve a landscape row's ``t`` override for network size ``n``."""
+    if t_spec is None:
+        return t_default
+    if t_spec == "quarter":
+        # Phase king needs n > 4t; (n - 1) // 4 is the largest legal budget.
+        return max(1, (n - 1) // 4)
+    return int(t_spec)
+
+
+def run(quick: bool = True, engine: str = "auto") -> ExperimentReport:
+    """Run the E9 landscape comparison and return the report.
+
+    Args:
+        engine: Forwarded to :func:`repro.engine.run_sweep` per row;
+            ``"object"`` reproduces the seed's object-simulator landscape for
+            cross-validation (bit-identical for the deterministic kernels).
+    """
+    n_config, t_default, trials = QUICK_CONFIG if quick else FULL_CONFIG
     report = ExperimentReport(
         experiment_id="E9",
         title="Baseline landscape: every protocol under its strongest applicable adversary",
-        columns=["protocol", "adversary", "t", "mean_rounds", "mean_messages",
-                 "agreement_rate", "validity_rate"],
+        columns=["protocol", "adversary", "engine", "n", "t", "mean_rounds",
+                 "mean_messages", "agreement_rate", "validity_rate"],
     )
-    report.add_note(f"n={n}, trials/protocol={trials}, inputs=split")
-    report.add_note("ben-or/eig/sampling run with reduced t (their practical limits)")
-    for protocol, t_spec, adversary, extra in LANDSCAPE:
-        if t_spec is None:
-            t = t_default
-        elif t_spec == "quarter":
-            t = max(1, (n - 1) // 5)
-        else:
-            t = int(t_spec)
+    report.add_note(f"n={n_config}, trials/protocol={trials}, inputs=split")
+    report.add_note(
+        "ben-or/eig/sampling run with reduced t (their practical limits); "
+        "eig additionally caps n (its messages grow as n^(t+1))"
+    )
+    for index, (protocol, t_spec, adversary, extra) in enumerate(LANDSCAPE):
+        n = min(n_config, extra.get("n_cap", n_config))
+        t = landscape_t(t_spec, n, t_default)
         experiment = AgreementExperiment(
             n=n, t=t, protocol=protocol, adversary=adversary, inputs="split",
             max_rounds=extra.get("max_rounds"),
             allow_timeout=protocol == "ben-or",
         )
-        trials_result = run_trials(experiment, num_trials=trials, base_seed=9000 + len(protocol))
+        sweep = run_sweep(
+            experiment=experiment, trials=trials, base_seed=9000 + 100 * index,
+            engine=engine,
+        )
         report.add_row(
             {
                 "protocol": protocol,
                 "adversary": adversary,
+                "engine": sweep.engine,
+                "n": n,
                 "t": t,
-                "mean_rounds": trials_result.mean_rounds,
-                "mean_messages": trials_result.mean_messages,
-                "agreement_rate": trials_result.agreement_rate,
-                "validity_rate": trials_result.validity_rate,
+                "mean_rounds": sweep.mean_rounds,
+                "mean_messages": sweep.mean_messages,
+                "agreement_rate": sweep.agreement_rate,
+                "validity_rate": sweep.validity_rate,
             }
         )
     return report

@@ -78,6 +78,10 @@ def _row_popcount(mask: np.ndarray) -> np.ndarray:
     return np.bitwise_count(np.packbits(mask, axis=1)).sum(axis=1, dtype=np.int64)
 
 
+#: Public alias used by the baseline kernels (:mod:`repro.baselines.kernels`).
+row_popcount = _row_popcount
+
+
 def _build_prefix_bits_lut() -> np.ndarray:
     """``LUT[byte, k]`` = mask of the first ``k`` set bits of ``byte``.
 
@@ -885,6 +889,10 @@ def _trial_inputs(n: int, inputs: str, rng: np.random.Generator) -> np.ndarray:
     raise ConfigurationError(f"unknown input pattern {inputs!r}")
 
 
+#: Public alias used by the baseline kernels (:mod:`repro.baselines.kernels`).
+trial_inputs = _trial_inputs
+
+
 def _aggregate(
     n: int,
     t: int,
@@ -909,6 +917,10 @@ def _aggregate(
         validity_rate=sum(result.validity for result in results) / trials,
         mean_corrupted=float(np.mean([result.corrupted for result in results])),
     )
+
+
+#: Public alias used by the baseline kernels (:mod:`repro.baselines.kernels`).
+aggregate_results = _aggregate
 
 
 def build_vectorized_simulator(

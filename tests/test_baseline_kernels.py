@@ -1,0 +1,275 @@
+"""Cross-validation of the batched baseline kernels against the object
+simulator, and of the protocol-capability dispatch built on top of them.
+
+The contract mirrors PR 1's adversary validation: kernels are *bit-identical*
+to the object simulator wherever the per-trial randomness allows (Rabin's
+public dealer stream, the deterministic phase-king and EIG protocols) and
+*statistically consistent* where the object simulator consumes per-node
+streams the kernels cannot replay (Ben-Or's private coins, sampling-majority
+draws, the straddle adversary's share-dependent spending)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.kernels import (
+    BASELINE_KERNELS,
+    run_ben_or_trials,
+    run_coin_trials,
+    run_eig_trials,
+    run_phase_king_trials,
+    run_rabin_trials,
+    run_sampling_majority_trials,
+)
+from repro.core.runner import AgreementExperiment, run_trials
+from repro.engine import PROTOCOL_KERNELS, run_coin_sweep, run_sweep
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+def _object_summaries(protocol, adversary, n, t, inputs="split", trials=4, seed=11, **kwargs):
+    experiment = AgreementExperiment(
+        n=n, t=t, protocol=protocol, adversary=adversary, inputs=inputs, **kwargs
+    )
+    return run_trials(experiment, num_trials=trials, base_seed=seed).trials
+
+
+def _assert_identical(kernel_results, object_summaries):
+    """Field-by-field equality (the per-trial seed labels legitimately differ:
+    the object engine records ``base_seed + k``, the kernels record ``k``)."""
+    assert len(kernel_results) == len(object_summaries)
+    for vec, obj in zip(kernel_results, object_summaries):
+        assert vec.rounds == obj.rounds
+        assert vec.phases == obj.phases
+        assert vec.agreement == obj.agreement
+        assert vec.validity == obj.validity
+        assert vec.decision == obj.decision
+        assert vec.messages == obj.messages
+        assert vec.bits == obj.bits
+        assert vec.corrupted == obj.corrupted
+        assert vec.timed_out == obj.timed_out
+
+
+class TestRabinKernel:
+    @pytest.mark.parametrize("adversary,obj_adversary", [("none", "null"), ("silent", "silent")])
+    @pytest.mark.parametrize("n,t", [(19, 3), (25, 6)])
+    def test_bit_identical_to_object_simulator(self, adversary, obj_adversary, n, t):
+        # The dealer stream is the only randomness that matters, and the
+        # kernel replays it exactly (dealer seed = the trial's master seed).
+        vec = run_rabin_trials(n, t, adversary=adversary, inputs="split", trials=4, seed=11)
+        obj = _object_summaries("rabin", obj_adversary, n, t)
+        _assert_identical(vec.results, obj)
+
+    def test_bit_identical_on_unanimous_inputs(self):
+        vec = run_rabin_trials(16, 5, adversary="none", inputs="unanimous-1", trials=3, seed=2)
+        obj = _object_summaries("rabin", "null", 16, 5, inputs="unanimous-1", trials=3, seed=2)
+        _assert_identical(vec.results, obj)
+        assert vec.validity_rate == 1.0
+
+    def test_straddle_statistically_consistent_with_coin_attack(self):
+        # The attack is futile against a public dealer coin in both engines:
+        # a constant number of phases, full agreement, some corruptions spent.
+        vec = run_rabin_trials(25, 6, adversary="straddle", inputs="split", trials=20, seed=5)
+        obj = run_trials(
+            AgreementExperiment(n=25, t=6, protocol="rabin", adversary="coin-attack",
+                                inputs="split"),
+            num_trials=8, base_seed=5,
+        )
+        assert vec.agreement_rate == obj.agreement_rate == 1.0
+        assert vec.mean_phases == pytest.approx(obj.mean_phases, abs=2.0)
+
+
+class TestPhaseKingKernel:
+    @pytest.mark.parametrize(
+        "adversary,obj_adversary", [("none", "null"), ("silent", "silent"), ("static", "static")]
+    )
+    @pytest.mark.parametrize("n,t", [(13, 3), (21, 5)])
+    def test_bit_identical_to_object_simulator(self, adversary, obj_adversary, n, t):
+        for inputs in ("split", "unanimous-0"):
+            vec = run_phase_king_trials(n, t, adversary=adversary, inputs=inputs, trials=3, seed=11)
+            obj = _object_summaries("phase-king", obj_adversary, n, t, inputs=inputs, trials=3)
+            _assert_identical(vec.results, obj)
+
+    def test_deterministic_round_schedule(self):
+        vec = run_phase_king_trials(17, 4, adversary="static", trials=5, seed=0)
+        assert all(result.rounds == 2 * (4 + 1) for result in vec.results)
+        assert vec.agreement_rate == 1.0
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_phase_king_trials(16, 4, adversary="none", trials=2)
+
+
+class TestEIGKernel:
+    @pytest.mark.parametrize(
+        "adversary,obj_adversary", [("none", "null"), ("silent", "silent"), ("static", "static")]
+    )
+    @pytest.mark.parametrize("n,t", [(7, 1), (10, 2), (13, 2)])
+    def test_bit_identical_to_object_simulator(self, adversary, obj_adversary, n, t):
+        vec = run_eig_trials(n, t, adversary=adversary, inputs="split", trials=3, seed=11)
+        obj = _object_summaries("eig", obj_adversary, n, t, trials=3)
+        _assert_identical(vec.results, obj)
+
+    def test_tree_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            run_eig_trials(512, 3, adversary="static", trials=2)
+
+    def test_rounds_are_t_plus_one(self):
+        vec = run_eig_trials(10, 2, adversary="silent", trials=2, seed=0)
+        assert all(result.rounds == 3 for result in vec.results)
+
+
+class TestBenOrKernel:
+    def test_statistically_consistent_with_object_simulator(self):
+        # Per-node coin streams cannot be replayed; the geometric phase-count
+        # distribution must agree.  n=9/t=1 keeps the object runs affordable
+        # (expected ~2^7 phases per trial).
+        vec = run_ben_or_trials(9, 1, adversary="silent", inputs="split",
+                                trials=200, seed=3, max_rounds=2000)
+        obj = run_trials(
+            AgreementExperiment(n=9, t=1, protocol="ben-or", adversary="silent",
+                                inputs="split", max_rounds=2000, allow_timeout=True),
+            num_trials=15, base_seed=3,
+        )
+        # Terminating runs always agree, and phase counts match within the
+        # (wide) Monte-Carlo error of a heavy-tailed geometric distribution.
+        assert vec.agreement_rate >= 0.9
+        assert obj.agreement_rate >= 0.9
+        assert vec.mean_phases == pytest.approx(obj.mean_phases, rel=0.8)
+
+    def test_unanimous_inputs_decide_immediately(self):
+        vec = run_ben_or_trials(16, 2, adversary="none", inputs="unanimous-1", trials=4, seed=1)
+        assert vec.agreement_rate == vec.validity_rate == 1.0
+        assert vec.mean_phases <= 3
+
+    def test_round_cap_censors_instead_of_running_forever(self):
+        vec = run_ben_or_trials(64, 8, adversary="silent", inputs="split",
+                                trials=4, seed=0, max_rounds=50)
+        assert all(result.timed_out for result in vec.results)
+        assert all(result.rounds == 50 for result in vec.results)
+
+
+class TestSamplingMajorityKernel:
+    def test_statistically_consistent_with_object_simulator(self):
+        vec = run_sampling_majority_trials(32, 1, adversary="silent", inputs="random",
+                                           trials=60, seed=5)
+        obj = run_trials(
+            AgreementExperiment(n=32, t=1, protocol="sampling-majority",
+                                adversary="silent", inputs="random"),
+            num_trials=15, base_seed=5,
+        )
+        # The iteration schedule is deterministic, so rounds match exactly;
+        # message volume is stochastic (how many samples land on honest
+        # peers) but concentrates tightly around the same mean.
+        assert vec.mean_rounds == obj.mean_rounds
+        assert vec.mean_messages == pytest.approx(obj.mean_messages, rel=0.05)
+        assert vec.agreement_rate >= 0.9 and obj.agreement_rate >= 0.9
+
+    def test_convergence_on_failure_free_runs(self):
+        vec = run_sampling_majority_trials(64, 2, adversary="none", inputs="split",
+                                           trials=20, seed=9)
+        assert vec.agreement_rate >= 0.9
+        expected_iterations = math.ceil(2.0 * math.log2(64) ** 2)
+        assert all(result.rounds == 2 * expected_iterations for result in vec.results)
+
+
+class TestCoinKernel:
+    def test_statistically_consistent_with_object_loop(self):
+        n, budget = 36, 3
+        vec = run_coin_trials(n, budget, trials=3000, seed=0)
+        obj = run_coin_sweep(n, budget, trials=150, base_seed=0, engine="object")
+        assert obj.engine == "object"
+        assert vec.common_rate == pytest.approx(obj.common_rate, abs=0.12)
+
+    def test_never_common_below_exact_never_straddled_regime(self):
+        # With budget 0 the adversary can never straddle: always common.
+        result = run_coin_trials(25, 0, trials=200, seed=1)
+        assert result.common_rate == 1.0
+        # With a budget covering any |S| the straddle always lands.
+        result = run_coin_trials(25, 25, trials=200, seed=1)
+        assert result.common_rate == 0.0
+
+    def test_conditional_bias_is_bounded(self):
+        result = run_coin_trials(64, 4, trials=5000, seed=2)
+        p_one = result.ones_given_common / result.common_count
+        assert 0.05 <= p_one <= 0.95
+
+    def test_argument_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_coin_trials(0, 1, trials=10)
+        with pytest.raises(ConfigurationError):
+            run_coin_trials(9, -1, trials=10)
+        with pytest.raises(ConfigurationError):
+            run_coin_trials(9, 1, trials=0)
+        with pytest.raises(ConfigurationError):
+            run_coin_sweep(9, 1, trials=10, engine="warp")
+
+
+class TestKernelDispatch:
+    """run_sweep routes baseline protocols through their kernels."""
+
+    @pytest.mark.parametrize(
+        "protocol,adversary,kwargs",
+        [
+            ("rabin", "coin-attack", {}),
+            ("ben-or", "silent", {"max_rounds": 200, "allow_timeout": True}),
+            ("phase-king", "static", {}),
+            ("eig", "static", {}),
+            ("sampling-majority", "silent", {}),
+        ],
+    )
+    def test_auto_dispatch_uses_the_kernel(self, protocol, adversary, kwargs):
+        n, t = (13, 2) if protocol == "eig" else (21, 2)
+        sweep = run_sweep(n, t, protocol=protocol, adversary=adversary,
+                          trials=3, base_seed=1, **kwargs)
+        assert sweep.engine == "vectorized"
+        assert sweep.num_trials == 3
+
+    def test_exact_kernels_match_the_object_engine_through_run_sweep(self):
+        # The acceptance check for the E9 landscape: where the kernel is
+        # exact, the quick-mode table values are identical whichever engine
+        # run_sweep dispatches to.
+        from repro.experiments.e9_baselines import LANDSCAPE, QUICK_CONFIG, landscape_t
+
+        n_quick, t_default, trials = QUICK_CONFIG
+        compared = 0
+        for index, (protocol, t_spec, adversary, extra) in enumerate(LANDSCAPE):
+            spec = PROTOCOL_KERNELS.get(protocol)
+            if spec is None or adversary not in spec.exact:
+                continue
+            n = min(n_quick, extra.get("n_cap", n_quick))
+            t = landscape_t(t_spec, n, t_default)
+            experiment = AgreementExperiment(
+                n=n, t=t, protocol=protocol, adversary=adversary, inputs="split",
+                max_rounds=extra.get("max_rounds"),
+            )
+            seed = 9000 + 100 * index
+            fast = run_sweep(experiment=experiment, trials=trials, base_seed=seed,
+                             engine="vectorized")
+            slow = run_sweep(experiment=experiment, trials=trials, base_seed=seed,
+                             engine="object")
+            assert fast.summary() == slow.summary(), protocol
+            compared += 1
+        assert compared >= 2  # phase-king and eig at minimum
+
+    def test_kernel_timeout_without_allow_timeout_raises(self):
+        with pytest.raises(SimulationError):
+            run_sweep(64, 8, protocol="ben-or", adversary="silent",
+                      trials=3, base_seed=0, max_rounds=50)
+
+    def test_params_override_rejected_for_baseline_kernels(self):
+        from repro.core.parameters import ProtocolParameters
+
+        params = ProtocolParameters.derive(25, 6)
+        with pytest.raises(ConfigurationError):
+            run_sweep(25, 6, protocol="rabin", adversary="silent",
+                      trials=2, params=params)
+
+    def test_registry_is_complete_and_well_formed(self):
+        assert set(BASELINE_KERNELS) == {
+            "rabin", "ben-or", "phase-king", "eig", "sampling-majority"
+        }
+        for protocol, spec in BASELINE_KERNELS.items():
+            assert spec.behaviours, protocol
+            assert spec.exact <= set(spec.behaviours), protocol

@@ -54,3 +54,24 @@ class TestCommands:
         code = main(["experiment", "E99"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_engines_command_prints_support_and_dispatch_tables(self, capsys):
+        code = main(["engines"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "per-protocol engine support" in output
+        assert "protocol x adversary dispatch" in output
+        # Per-protocol rows name the kernel serving each baseline.
+        assert "dealer-coin" in output
+        assert "private-coin" in output
+        assert "eig-tree" in output
+        # The dispatch table records the validation mode of fast-path pairs.
+        assert "statistical" in output and "exact" in output
+
+    def test_trials_command_dispatches_baseline_kernel(self, capsys):
+        code = main(["trials", "--n", "17", "--t", "4", "--trials", "3",
+                     "--protocol", "phase-king", "--adversary", "static",
+                     "--engine", "auto"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "vectorized" in output

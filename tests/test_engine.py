@@ -8,8 +8,10 @@ from repro.core.parameters import ProtocolParameters
 from repro.core.runner import AgreementExperiment, run_trials
 from repro.engine import (
     ADVERSARY_FAST_PATH,
+    PROTOCOL_KERNELS,
     SweepResult,
     dispatch_table,
+    kernel_support_table,
     run_sweep,
     select_engine,
     vectorizable,
@@ -25,10 +27,20 @@ class TestSelectEngine:
             for adversary in ("null", "coin-attack", "silent", "crash", "random-noise"):
                 assert select_engine(protocol, adversary) == "vectorized"
 
+    def test_auto_takes_fast_path_for_baseline_kernels(self):
+        assert select_engine("rabin", "coin-attack") == "vectorized"
+        assert select_engine("rabin", "silent") == "vectorized"
+        assert select_engine("ben-or", "silent") == "vectorized"
+        assert select_engine("phase-king", "static") == "vectorized"
+        assert select_engine("eig", "static") == "vectorized"
+        assert select_engine("sampling-majority", "silent") == "vectorized"
+
     def test_auto_falls_back_to_object(self):
         assert select_engine("committee-ba", "equivocate") == "object"
-        assert select_engine("phase-king", "null") == "object"
+        assert select_engine("phase-king", "coin-attack") == "object"
         assert select_engine("ben-or", "coin-attack") == "object"
+        assert select_engine("rabin", "crash") == "object"
+        assert select_engine("eig", "random-noise") == "object"
 
     def test_object_only_options_disable_the_fast_path(self):
         assert not vectorizable("committee-ba", "coin-attack", max_rounds=100)
@@ -38,12 +50,22 @@ class TestSelectEngine:
                                 protocol_kwargs={"group_size_factor": 2.0})
         assert vectorizable("chor-coan", "coin-attack",
                             protocol_kwargs={"alpha": 2.0})
+        assert not vectorizable("rabin", "silent", max_rounds=100)
+        assert not vectorizable("sampling-majority", "silent",
+                                protocol_kwargs={"unknown": 1})
+        assert vectorizable("sampling-majority", "silent",
+                            protocol_kwargs={"iterations_factor": 1.0})
+        # Ben-Or's kernel honours an explicit round cap (its runs are
+        # censored), so a custom max_rounds stays on the fast path.
+        assert vectorizable("ben-or", "silent", max_rounds=2000)
 
     def test_forcing_vectorized_on_unsupported_config_raises(self):
         with pytest.raises(ConfigurationError):
-            select_engine("phase-king", "null", engine="vectorized")
+            select_engine("phase-king", "coin-attack", engine="vectorized")
         with pytest.raises(ConfigurationError):
             select_engine("committee-ba", "equivocate", engine="vectorized")
+        with pytest.raises(ConfigurationError):
+            select_engine("ben-or", "static", engine="vectorized")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -153,6 +175,25 @@ class TestDispatchTable:
         rows = dispatch_table()
         assert len(rows) == 9 * 8  # PROTOCOLS x ADVERSARIES
         fast = [row for row in rows if row["auto engine"] == "vectorized"]
-        assert len(fast) == 4 * 5  # committee family x modelled adversaries
+        # committee family x 5 modelled adversaries, plus the baseline
+        # kernels: rabin x 3, ben-or x 2, phase-king x 3, eig x 3,
+        # sampling-majority x 2.
+        assert len(fast) == 4 * 5 + 3 + 2 + 3 + 3 + 2
         for row in fast:
+            spec = PROTOCOL_KERNELS[row["protocol"]]
+            assert row["fast-path behaviour"] == spec.behaviours[row["adversary"]]
+            assert row["kernel"] == spec.name
+            assert row["validation"] in ("exact", "statistical")
+        committee_rows = [row for row in fast if row["kernel"] == "committee"]
+        assert len(committee_rows) == 4 * 5
+        for row in committee_rows:
             assert row["fast-path behaviour"] == ADVERSARY_FAST_PATH[row["adversary"]]
+
+    def test_kernel_support_table_has_one_row_per_protocol(self):
+        rows = kernel_support_table()
+        assert len(rows) == 9
+        by_protocol = {row["protocol"]: row for row in rows}
+        assert by_protocol["rabin"]["kernel"] == "dealer-coin"
+        assert by_protocol["ben-or"]["max_rounds"] == "yes"
+        assert "static" in by_protocol["phase-king"]["vectorized adversaries"]
+        assert "coin-attack" in by_protocol["committee-ba"]["vectorized adversaries"]
