@@ -1,0 +1,84 @@
+"""Throughput of the batched adversary kernels vs the object-simulator loop.
+
+Completes the throughput-probe family (``bench_engine_throughput.py`` for the
+committee engine, ``bench_baseline_throughput.py`` for the baseline-protocol
+kernels): each probe runs one of the plane-kernel adversaries
+(:mod:`repro.adversary.kernels`) through ``repro.engine.run_sweep`` twice —
+once on the batched committee engine (many trials) and once on the faithful
+object simulator (a single reference trial; one attacked run at these sizes
+already pushes millions of messages through the Python scheduler) — and
+asserts the per-trial speedup floor that makes E6's full adversary × inputs
+matrix affordable at ``n >= 256``.  Measured speedups are recorded in
+``benchmarks/results/summary.json`` so the perf trajectory stays
+machine-readable across PRs.
+
+The floor is deliberately far below typical measurements (tens of thousands
+of x): it guards the *existence* of the fast path, not the exact constant,
+and leaves headroom for noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import update_summary
+from repro.engine import run_sweep
+
+#: Regression floor demanded of every probe (the issue's acceptance bar).
+MIN_KERNEL_SPEEDUP = 5.0
+
+#: (probe name, adversary, n, t, kernel trials, object trials).  The static
+#: and equivocate probes run at the E6 full-matrix scale (n = 512, maximum
+#: tolerable t); committee-targeting's object reference runs a smaller
+#: budget because the attack stretches runs to ~t phases of n^2 messages.
+PROBES = (
+    ("static", "static", 512, 170, 32, 1),
+    ("equivocate", "equivocate", 512, 170, 32, 1),
+    ("committee-targeting", "committee-targeting", 256, 32, 32, 1),
+)
+
+
+def _per_trial_seconds(adversary, n, t, trials, engine):
+    started = time.perf_counter()
+    sweep = run_sweep(
+        n, t, protocol="committee-ba-las-vegas", adversary=adversary,
+        inputs="split", trials=trials, base_seed=17, engine=engine,
+    )
+    elapsed = time.perf_counter() - started
+    assert sweep.engine == engine
+    assert sweep.agreement_rate == 1.0
+    assert sweep.validity_rate == 1.0
+    return elapsed / trials, sweep
+
+
+def test_adversary_kernels_beat_the_object_loop():
+    """Every plane-kernel adversary must beat the object loop per trial."""
+    for name, adversary, n, t, vec_trials, obj_trials in PROBES:
+        vec_seconds, vec = _per_trial_seconds(adversary, n, t, vec_trials,
+                                              "vectorized")
+        obj_seconds, obj = _per_trial_seconds(adversary, n, t, obj_trials,
+                                              "object")
+        speedup = obj_seconds / vec_seconds
+        print(
+            f"\n{name} (n={n}, t={t}): kernel {vec_seconds * 1000:.2f} ms/trial "
+            f"({vec_trials} trials), object {obj_seconds * 1000:.1f} ms/trial "
+            f"({obj_trials} trials), speedup {speedup:.1f}x "
+            f"(kernel mean rounds {vec.mean_rounds:.1f}, object {obj.mean_rounds:.1f})"
+        )
+        update_summary(
+            f"adversary-throughput/{name}",
+            {
+                "kind": "throughput",
+                "protocol": "committee-ba-las-vegas",
+                "adversary": adversary,
+                "n": n,
+                "t": t,
+                "kernel_seconds_per_trial": vec_seconds,
+                "object_seconds_per_trial": obj_seconds,
+                "speedup": speedup,
+            },
+        )
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"{name} kernel only {speedup:.2f}x faster than the object loop "
+            f"(floor {MIN_KERNEL_SPEEDUP}x)"
+        )

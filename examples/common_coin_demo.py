@@ -24,21 +24,23 @@ from __future__ import annotations
 import math
 import sys
 
-from repro.adversary.strategies.coin_attack import CoinAttackAdversary
 from repro.analysis.paley_zygmund import coin_success_lower_bound, exact_common_coin_probability
-from repro.core.common_coin import run_common_coin
+from repro.engine import run_coin_sweep
 from repro.metrics.reporting import format_table
 
 
 def estimate(n: int, budget: int, trials: int) -> tuple[float, float]:
-    """Return (P(common), P(coin=1 | common)) under the straddle attack."""
-    common, ones = 0, 0
-    for seed in range(trials):
-        outcome = run_common_coin(n, CoinAttackAdversary(budget), seed=seed)
-        if outcome.common:
-            common += 1
-            ones += outcome.value or 0
-    return common / trials, (ones / common if common else float("nan"))
+    """Return (P(common), P(coin=1 | common)) under the straddle attack.
+
+    Dispatches through :func:`repro.engine.run_coin_sweep`: the batched coin
+    kernel evaluates the whole ``(trials, n)`` flip plane at once, so crank
+    the trial count into the tens of thousands if you want tighter estimates
+    (``engine="object"`` reproduces the original serial scheduler loop).
+    """
+    sweep = run_coin_sweep(n, budget, trials=trials, base_seed=0)
+    bias = (sweep.ones_given_common / sweep.common_count
+            if sweep.common_count else float("nan"))
+    return sweep.common_rate, bias
 
 
 def main(trials: int = 150) -> None:

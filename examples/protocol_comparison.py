@@ -11,8 +11,10 @@ number of rounds to agreement for
   ``t`` values where its ``n > 4t`` resilience allows),
 
 all under the strongest applicable adversary, together with the paper's
-analytic curves.  This is a small-scale, object-simulator version of
-benchmark E1 (the benchmark uses the vectorised engine at n >= 1024).
+analytic curves.  This is a small-scale version of benchmark E1, dispatched
+through ``repro.engine.run_sweep`` — every row takes a batched vectorised
+kernel, so feel free to push ``n`` to benchmark scale (E1's full sweep runs
+at n >= 1024).
 
 Usage::
 
@@ -23,12 +25,12 @@ from __future__ import annotations
 
 import sys
 
-from repro import AgreementExperiment, run_trials
 from repro.core.parameters import (
     max_tolerable_t,
     predicted_rounds,
     predicted_rounds_chor_coan,
 )
+from repro.engine import run_sweep
 from repro.metrics.reporting import format_table
 
 
@@ -41,22 +43,22 @@ def main(n: int = 64, trials: int = 8) -> None:
 
     rows = []
     for t in t_values:
-        ours = run_trials(
-            AgreementExperiment(n=n, t=t, protocol="committee-ba-las-vegas",
-                                adversary="coin-attack", inputs="split"),
-            num_trials=trials, base_seed=100 + t,
+        # engine="auto" takes the batched vectorised kernels for every row
+        # (committee engine for the randomized protocols, the phase-king
+        # kernel for the deterministic baseline).
+        ours = run_sweep(
+            n, t, protocol="committee-ba-las-vegas", adversary="coin-attack",
+            inputs="split", trials=trials, base_seed=100 + t,
         )
-        chor_coan = run_trials(
-            AgreementExperiment(n=n, t=t, protocol="chor-coan-las-vegas",
-                                adversary="coin-attack", inputs="split"),
-            num_trials=trials, base_seed=100 + t,
+        chor_coan = run_sweep(
+            n, t, protocol="chor-coan-las-vegas", adversary="coin-attack",
+            inputs="split", trials=trials, base_seed=100 + t,
         )
         phase_king_rounds: float | None = None
         if 4 * t < n:
-            phase_king = run_trials(
-                AgreementExperiment(n=n, t=t, protocol="phase-king",
-                                    adversary="static", inputs="split"),
-                num_trials=1, base_seed=100 + t,
+            phase_king = run_sweep(
+                n, t, protocol="phase-king", adversary="static",
+                inputs="split", trials=1, base_seed=100 + t,
             )
             phase_king_rounds = phase_king.mean_rounds
         rows.append(

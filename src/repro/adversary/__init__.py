@@ -16,6 +16,12 @@ The paper's adversary is *adaptive*, *rushing* and *full-information*:
 strategies under :mod:`repro.adversary.strategies` implement concrete attacks:
 vote-splitting equivocation, adaptive committee-coin biasing, committee budget
 allocation, adaptive crash scheduling, and simple noise/silence baselines.
+
+:mod:`repro.adversary.kernels` holds the batched counterparts: the strategies
+re-expressed as operations on ``(trials, n)`` planes for the vectorised
+committee engine, registered per behaviour so the engine dispatch of
+:mod:`repro.engine` is capability-driven for adversaries exactly as it is for
+protocols.
 """
 
 from repro.adversary.base import Adversary, AdversaryAction, AdversaryView, NullAdversary

@@ -1,0 +1,71 @@
+"""Batched adversary kernels — Byzantine strategies as ``(B, n)``-plane ops.
+
+The committee engine's original adversary fast paths (``none``/``straddle``/
+``silent``/``crash``/``random-noise``) are hard-wired into the engine loop.
+This package makes the remaining strategies pluggable: each adversary is an
+:class:`~repro.adversary.kernels.base.AdversaryKernel` the engine drives
+through per-round hooks, corrupting against per-trial budgets and returning
+additive per-recipient announcement planes.  See :mod:`.base` for the
+protocol and the engine-side contract.
+
+:data:`ADVERSARY_PLANE_KERNELS` is the behaviour registry the committee
+engine consults: behaviour name -> kernel class.  The engine merges these
+names into :data:`repro.simulator.vectorized.VECTORIZED_ADVERSARIES`, and
+:data:`repro.engine.ADVERSARY_FAST_PATH` maps the object-simulator strategy
+names onto them, so ``run_sweep``/``select_engine`` dispatch per
+``(protocol, adversary)`` pair exactly as for the built-in behaviours.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.kernels.base import (
+    AdversaryKernel,
+    KernelContext,
+    Round1Effect,
+    Round2Effect,
+)
+from repro.adversary.kernels.committee_targeting import CommitteeTargetingKernel
+from repro.adversary.kernels.equivocate import EquivocatePlaneKernel
+from repro.adversary.kernels.static import StaticEquivocateKernel
+from repro.core.parameters import ProtocolParameters
+from repro.exceptions import ConfigurationError
+
+#: Behaviour name -> kernel class.  These are the committee-engine adversary
+#: behaviours served by the plane-kernel path (the aggregate-counter and
+#: noise behaviours stay on their dedicated engine loops).
+ADVERSARY_PLANE_KERNELS: dict[str, type[AdversaryKernel]] = {
+    "static": StaticEquivocateKernel,
+    "equivocate": EquivocatePlaneKernel,
+    "committee-targeting": CommitteeTargetingKernel,
+}
+
+
+def build_adversary_kernel(
+    behaviour: str, *, n: int, t: int, params: ProtocolParameters
+) -> AdversaryKernel:
+    """Instantiate the plane kernel for one behaviour name.
+
+    One kernel instance serves one batch execution; the constructor signature
+    is uniform so the engine needs no per-strategy wiring.
+    """
+    try:
+        kernel_class = ADVERSARY_PLANE_KERNELS[behaviour]
+    except KeyError:
+        raise ConfigurationError(
+            f"no adversary plane kernel for behaviour {behaviour!r}; "
+            f"available: {sorted(ADVERSARY_PLANE_KERNELS)}"
+        ) from None
+    return kernel_class(n=n, t=t, params=params)
+
+
+__all__ = [
+    "ADVERSARY_PLANE_KERNELS",
+    "AdversaryKernel",
+    "CommitteeTargetingKernel",
+    "EquivocatePlaneKernel",
+    "KernelContext",
+    "Round1Effect",
+    "Round2Effect",
+    "StaticEquivocateKernel",
+    "build_adversary_kernel",
+]

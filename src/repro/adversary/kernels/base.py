@@ -1,0 +1,195 @@
+"""The batched adversary-kernel protocol.
+
+The committee engine's original fast paths assumed either that every honest
+node sees the *same* announcement multiset per round (the aggregate-counter
+behaviours: ``none``/``straddle``/``silent``/``crash``) or that the
+per-recipient differences are pure i.i.d. noise (``random-noise``).  The
+remaining adversary strategies — the static equivocator, the adaptive
+vote-splitting equivocator and the non-rushing committee-targeting attack —
+fit neither mould: they send *different, deliberately chosen* announcements to
+different recipients and corrupt adaptively against per-trial budgets.
+
+An :class:`AdversaryKernel` expresses such a strategy as operations on
+``(B, n)`` planes.  The engine
+(:meth:`repro.simulator.vectorized.VectorizedAgreementSimulator.run_batch`)
+drives one kernel instance through four hooks per batch:
+
+``setup``
+    Before round 1 of phase 1: spend any up-front corruptions (static
+    strategies burn their whole budget here).
+
+``round1``
+    Rushing view of the round-1 broadcast tallies.  The kernel may corrupt
+    (mutating the context planes in place) and returns the *additive*
+    per-recipient announcement planes — how many extra ``1``/``0``
+    round-1 values each recipient receives from corrupted senders.
+
+``pre_coin``
+    Between the two rounds, *before* the committee's coin shares are drawn.
+    This is the only hook a non-rushing adversary may corrupt committee
+    members in: it models corrupting the upcoming committee without having
+    seen its flips (the corrupted members' shares are discarded exactly as
+    the object scheduler discards a freshly corrupted node's honest
+    messages).
+
+``round2``
+    Rushing view of the round-2 ``decided`` tallies and the honest committee
+    share sum.  Returns additive per-recipient ``decided``-record planes and
+    a per-recipient coin-share adjustment plane.
+
+Additive planes are broadcastable against ``(B, n)`` — a uniform strategy
+returns ``(B, 1)`` columns, a two-group equivocator returns full ``(B, n)``
+planes — so the engine's threshold logic is written once, in plane form, and
+never needs to know which strategy it is executing.  Kernels must account
+their own adversary message traffic by adding to ``ctx.messages``.
+
+Every kernel draws nothing from the per-trial Philox generators: the three
+strategies modelled so far are deterministic given the honest randomness
+(targets are picked lowest-id-first, exactly like
+:meth:`repro.adversary.adaptive.AdaptiveAdversary.pick_targets`), so the
+honest trial streams stay bit-compatible with the engine's other paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.parameters import ProtocolParameters
+
+#: An additive per-recipient count: anything broadcastable to ``(B, n)``.
+#: ``0`` (the default) means "no adversary contribution".
+CountPlane = int | np.ndarray
+
+
+@dataclass
+class KernelContext:
+    """The engine state a kernel hook may read — and, for corruption, mutate.
+
+    The boolean planes are *views into the live engine state*: a kernel
+    corrupts node ``v`` of trial ``b`` by setting ``corrupted[b, v] = True``
+    and ``active[b, v] = False`` and decrementing ``budget[b]`` — the same
+    three-way bookkeeping the engine's built-in straddle uses.  Everything
+    else must be treated as read-only.
+
+    Attributes:
+        n / t: Network size and corruption budget of the configuration.
+        params: Committee geometry (size, count, phase schedule).
+        phase: Current 1-based phase.
+        committee_start / committee_stop: Id slice ``[start, stop)`` of the
+            phase's designated committee.
+        value / decided / active / corrupted / can_update: ``(B, n)`` planes;
+            ``active`` is honest-and-not-terminated, ``can_update`` is False
+            once a node is flushing.
+        budget: ``(B,)`` remaining corruptions per trial.
+        messages: ``(B,)`` running message counters (kernels add their own
+            adversary traffic here).
+        running: ``(B,)`` trials still executing; hooks must not touch
+            finished rows.
+    """
+
+    n: int
+    t: int
+    params: ProtocolParameters
+    phase: int
+    committee_start: int
+    committee_stop: int
+    value: np.ndarray
+    decided: np.ndarray
+    active: np.ndarray
+    corrupted: np.ndarray
+    can_update: np.ndarray
+    budget: np.ndarray
+    messages: np.ndarray
+    running: np.ndarray
+
+    @property
+    def committee_mask(self) -> np.ndarray:
+        """``(n,)`` membership mask of the phase's designated committee."""
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.committee_start : self.committee_stop] = True
+        return mask
+
+    def corrupt(self, new_corrupt: np.ndarray) -> None:
+        """Corrupt the ``(B, n)`` mask of nodes, with budget bookkeeping.
+
+        ``new_corrupt`` must select currently-honest nodes only and respect
+        each row's remaining budget (kernels enforce this by construction:
+        targets are drawn from ``active`` and capped at ``budget``).
+        """
+        self.corrupted |= new_corrupt
+        self.active &= ~new_corrupt
+        self.budget -= np.count_nonzero(new_corrupt, axis=1)
+
+
+@dataclass
+class Round1Effect:
+    """Additive round-1 announcement planes from the corrupted senders."""
+
+    ones: CountPlane = 0
+    zeros: CountPlane = 0
+
+
+@dataclass
+class Round2Effect:
+    """Additive round-2 record / coin-share planes from the corrupted senders."""
+
+    decided_one: CountPlane = 0
+    decided_zero: CountPlane = 0
+    shares: CountPlane = 0
+
+
+@dataclass
+class AdversaryKernel(ABC):
+    """Base class for batched adversary strategies on ``(B, n)`` planes.
+
+    Concrete kernels override the hooks they need; the defaults model a
+    passive adversary.  One kernel instance serves one :meth:`run_batch`
+    call, so kernels may keep per-batch state across phases (none of the
+    current strategies need any — their state is fully captured by the
+    ``corrupted``/``budget`` planes).
+    """
+
+    n: int
+    t: int
+    params: ProtocolParameters
+
+    #: Mirrors :attr:`repro.adversary.base.Adversary.rushing`; non-rushing
+    #: kernels corrupt in :meth:`pre_coin` and never read fresh shares.
+    rushing: bool = field(default=True, init=False)
+
+    def setup(self, ctx: KernelContext) -> None:
+        """Spend up-front corruptions before round 1 of phase 1."""
+
+    def round1(self, ctx: KernelContext, ones: np.ndarray, zeros: np.ndarray) -> Round1Effect:
+        """React to the round-1 broadcast; may corrupt adaptively.
+
+        Args:
+            ones / zeros: ``(B,)`` honest per-value tallies of the round's
+                broadcast *before* any corruption this hook performs (the
+                rushing view — a node corrupted now has its honest broadcast
+                discarded by the engine afterwards).
+        """
+        return Round1Effect()
+
+    def pre_coin(self, ctx: KernelContext) -> None:
+        """Corrupt committee members *before* their coin flips are drawn."""
+
+    def round2(
+        self,
+        ctx: KernelContext,
+        decided_one: np.ndarray,
+        decided_zero: np.ndarray,
+        share_sum: np.ndarray,
+    ) -> Round2Effect:
+        """React to the round-2 broadcast (rushing view of tallies and coin).
+
+        Args:
+            decided_one / decided_zero: ``(B,)`` honest ``decided`` record
+                tallies per value.
+            share_sum: ``(B,)`` sum of the honest committee members' fresh
+                coin shares (only meaningful to rushing kernels).
+        """
+        return Round2Effect()

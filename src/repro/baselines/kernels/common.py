@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.parameters import validate_n_t
 from repro.exceptions import ConfigurationError
+from repro.simulator.bitplanes import row_popcount
 from repro.simulator.messages import (
     CoinShare,
     CombinedAnnouncement,
@@ -39,7 +40,6 @@ from repro.simulator.vectorized import (
     VectorizedAggregate,
     VectorizedRunResult,
     aggregate_results,
-    row_popcount,
     trial_generator,
     trial_inputs,
 )

@@ -24,7 +24,10 @@ Python:
     kernel implements it, which adversaries it vectorises) followed by the
     full protocol × adversary dispatch table used by ``--engine auto``,
     including whether each fast-path pair is bit-identical to the object
-    simulator or statistically cross-validated.
+    simulator or statistically cross-validated.  ``--markdown`` emits the
+    same tables as marked markdown blocks — the canonical content of the
+    tables embedded in README.md and docs/, kept drift-free by
+    ``tests/test_docs.py``.
 
 Examples::
 
@@ -48,7 +51,13 @@ from repro.core.runner import (
     AgreementExperiment,
     run_agreement,
 )
-from repro.engine import ENGINES, dispatch_table, kernel_support_table, run_sweep
+from repro.engine import (
+    ENGINES,
+    dispatch_table,
+    kernel_support_table,
+    markdown_engine_tables,
+    run_sweep,
+)
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
 
@@ -100,7 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--full", action="store_true",
                                    help="run the full sweep instead of the quick one")
 
-    subparsers.add_parser("engines", help="print the engine-dispatch table")
+    engines_parser = subparsers.add_parser(
+        "engines", help="print the engine-dispatch table"
+    )
+    engines_parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit the tables as marked markdown blocks (the exact content "
+             "embedded in README.md and docs/, enforced by tests/test_docs.py)")
     return parser
 
 
@@ -153,6 +168,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_engines(args: argparse.Namespace) -> int:
+    if args.markdown:
+        blocks = markdown_engine_tables()
+        print(blocks["kernel-support"])
+        print()
+        print(blocks["dispatch"])
+        return 0
     print("per-protocol engine support:")
     print(format_table(kernel_support_table()))
     print("\nprotocol x adversary dispatch (--engine auto):")

@@ -64,7 +64,10 @@ ENGINES = ("auto", "vectorized", "object", "object-mp")
 
 #: Object-simulator adversary names -> committee-engine behaviours.  The
 #: vectorised names themselves are accepted as aliases so existing callers of
-#: ``run_vectorized_trials`` can migrate without renaming.
+#: ``run_vectorized_trials`` can migrate without renaming.  The last three
+#: behaviours are served by the adversary plane kernels of
+#: :mod:`repro.adversary.kernels`; with them every registered adversary
+#: strategy has a committee-family fast path.
 ADVERSARY_FAST_PATH = {
     "null": "none",
     "none": "none",
@@ -73,6 +76,9 @@ ADVERSARY_FAST_PATH = {
     "silent": "silent",
     "crash": "crash",
     "random-noise": "random-noise",
+    "static": "static",
+    "equivocate": "equivocate",
+    "committee-targeting": "committee-targeting",
 }
 
 #: The committee engine's bit-identity guarantee is against its own
@@ -502,6 +508,34 @@ def kernel_support_table() -> list[dict[str, str]]:
     return rows
 
 
+def markdown_engine_tables() -> dict[str, str]:
+    """The introspection tables as marked, embeddable markdown blocks.
+
+    Returns one block per table name (``"kernel-support"``,
+    ``"dispatch"``): a GitHub-flavoured markdown table wrapped in
+    ``<!-- engines:<name>:begin/end -->`` marker comments.  ``python -m repro
+    engines --markdown`` prints these blocks verbatim; the README and
+    ``docs/`` embed them between the same markers, and
+    ``tests/test_docs.py`` asserts every embedded copy is byte-identical to
+    this function's output — so the documented tables can never drift from
+    the live :data:`PROTOCOL_KERNELS` registry.
+    """
+    from repro.metrics.reporting import format_markdown_table
+
+    tables = {
+        "kernel-support": format_markdown_table(kernel_support_table()),
+        "dispatch": format_markdown_table(dispatch_table()),
+    }
+    return {
+        name: (
+            f"<!-- engines:{name}:begin -->\n"
+            f"{table}\n"
+            f"<!-- engines:{name}:end -->"
+        )
+        for name, table in tables.items()
+    }
+
+
 __all__ = [
     "ADVERSARY_FAST_PATH",
     "ENGINES",
@@ -510,6 +544,7 @@ __all__ = [
     "VECTORIZED_PROTOCOLS",
     "dispatch_table",
     "kernel_support_table",
+    "markdown_engine_tables",
     "run_coin_sweep",
     "run_sweep",
     "select_engine",

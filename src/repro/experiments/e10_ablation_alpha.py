@@ -52,9 +52,14 @@ def run(quick: bool = True) -> ExperimentReport:
             }
         )
 
+    # Rushing vs non-rushing, twice: small-n object-simulator rows (the
+    # cross-validation oracle) and the same comparison at the sweep's full
+    # (n, t) on the batched engine — both adversaries have plane kernels, so
+    # the comparison is no longer capped at object-simulator scale.
     small_t = small_n // 4
-    for label, adversary in [("rushing (coin-attack)", "coin-attack"),
-                             ("non-rushing (committee-targeting)", "committee-targeting")]:
+    comparisons = [("rushing (coin-attack)", "coin-attack"),
+                   ("non-rushing (committee-targeting)", "committee-targeting")]
+    for label, adversary in comparisons:
         result = run_sweep(
             experiment=AgreementExperiment(
                 n=small_n, t=small_t, protocol="committee-ba-las-vegas",
@@ -65,6 +70,20 @@ def run(quick: bool = True) -> ExperimentReport:
         report.add_row(
             {
                 "setting": "adversary model",
+                "value": label,
+                "mean_rounds": result.mean_rounds,
+                "agreement_rate": result.agreement_rate,
+                "timeout_or_fail_rate": result.timeout_rate,
+            }
+        )
+    for label, adversary in comparisons:
+        result = run_sweep(
+            n, t, protocol="committee-ba-las-vegas", adversary=adversary,
+            inputs="split", trials=trials, base_seed=10_500, engine="vectorized",
+        )
+        report.add_row(
+            {
+                "setting": f"adversary model (vectorized, n={n})",
                 "value": label,
                 "mean_rounds": result.mean_rounds,
                 "agreement_rate": result.agreement_rate,

@@ -28,6 +28,27 @@ def format_value(value: object, *, precision: int = 3) -> str:
     return str(value)
 
 
+def _render_cells(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None,
+    precision: int,
+) -> tuple[list[str], list[list[str]], list[int]]:
+    """The shared rendering pipeline behind both table framers.
+
+    Returns ``(cols, rendered, widths)``: the column order, every cell of
+    every row already passed through :func:`format_value`, and the per-column
+    display widths.  Keeping this in one place guarantees the plain-text and
+    markdown renderings of the same rows can never disagree on content —
+    only on framing.
+    """
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[format_value(row.get(col), precision=precision) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    return cols, rendered, widths
+
+
 def format_table(
     rows: Sequence[dict[str, object]],
     columns: Sequence[str] | None = None,
@@ -43,15 +64,36 @@ def format_table(
     """
     if not rows:
         return "(no data)"
-    cols = list(columns) if columns is not None else list(rows[0].keys())
-    rendered = [[format_value(row.get(col), precision=precision) for col in cols] for row in rows]
-    widths = [
-        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
-    ]
+    cols, rendered, widths = _render_cells(rows, columns, precision)
     header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
     separator = "-+-".join("-" * widths[i] for i in range(len(cols)))
     body = "\n".join(
         " | ".join(r[i].ljust(widths[i]) for i in range(len(cols))) for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_markdown_table(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    precision: int = 3,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Shares the whole rendering pipeline (:func:`_render_cells`) with
+    :func:`format_table` — only the framing differs.  Used by ``repro
+    engines --markdown`` to regenerate the engine-support tables embedded in
+    the README and docs (the docs-drift test compares them byte-for-byte).
+    """
+    if not rows:
+        return "(no data)"
+    cols, rendered, widths = _render_cells(rows, columns, precision)
+    header = "| " + " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols)) + " |"
+    separator = "|" + "|".join("-" * (widths[i] + 2) for i in range(len(cols))) + "|"
+    body = "\n".join(
+        "| " + " | ".join(r[i].ljust(widths[i]) for i in range(len(cols))) + " |"
+        for r in rendered
     )
     return f"{header}\n{separator}\n{body}"
 

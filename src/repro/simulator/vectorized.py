@@ -24,7 +24,12 @@ that matter for the round- and message-complexity claims:
 * ``"random-noise"`` — the babbling faults of
   :class:`repro.adversary.strategies.random_noise.RandomNoiseAdversary`:
   ``min(t, n)`` nodes send independently random per-recipient values,
-  ``decided`` flags and coin shares every round.
+  ``decided`` flags and coin shares every round;
+* ``"static"`` / ``"equivocate"`` / ``"committee-targeting"`` — the
+  remaining strategies of :mod:`repro.adversary`, served by the pluggable
+  adversary plane kernels of :mod:`repro.adversary.kernels` (the static
+  half-splitting equivocator, the adaptive vote-splitting equivocator and
+  the non-rushing committee pre-corruption attack).
 
 For ``none``/``straddle``/``silent``/``crash`` the engine exploits the fact
 that every honest node receives the *same* multiset of round-1/round-2
@@ -33,7 +38,12 @@ matrices never need to be materialised: one pass over aggregate counters per
 round reproduces the exact state evolution of the object simulator.  The
 ``random-noise`` behaviour is genuinely per-recipient, so its path draws the
 aggregate noise each recipient sees (binomial/multinomial counts) instead of
-materialising per-sender messages.
+materialising per-sender messages.  The plane-kernel behaviours are also
+per-recipient, but *deliberately* so: an
+:class:`~repro.adversary.kernels.base.AdversaryKernel` chooses additive
+announcement planes and adaptive corruptions per phase, and the engine runs
+them through the same per-recipient threshold logic as the noise path
+(:meth:`VectorizedAgreementSimulator._run_batch_planes`).
 
 Two entry points are provided: :meth:`VectorizedAgreementSimulator.run`
 executes one trial on 1-D arrays (the reference implementation), and
@@ -53,82 +63,33 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.parameters import ProtocolParameters, validate_n_t
 from repro.baselines.chor_coan import chor_coan_parameters
+from repro.core.parameters import ProtocolParameters, validate_n_t
 from repro.exceptions import ConfigurationError
+from repro.simulator.bitplanes import lower_half_split, row_popcount
 
 #: CONGEST cost (bits) of the round-1 and round-2 payloads, kept consistent
 #: with repro.simulator.messages.ValueAnnouncement / CombinedAnnouncement.
 _ROUND_PAYLOAD_BITS = 35
 
+#: Behaviours served by the pluggable adversary plane kernels
+#: (:mod:`repro.adversary.kernels`) rather than a dedicated engine loop.
+_PLANE_KERNEL_ADVERSARIES = ("static", "equivocate", "committee-targeting")
+
 #: Adversary behaviours the vectorised engine can simulate.
-VECTORIZED_ADVERSARIES = ("none", "straddle", "silent", "crash", "random-noise")
+VECTORIZED_ADVERSARIES = (
+    "none", "straddle", "silent", "crash", "random-noise",
+) + _PLANE_KERNEL_ADVERSARIES
 
 #: Behaviours under which every honest node sees the same announcement
 #: multiset, enabling the aggregate-counter fast path.
 _UNIFORM_ADVERSARIES = ("none", "straddle", "silent", "crash")
 
 
-def _row_popcount(mask: np.ndarray) -> np.ndarray:
-    """Exact per-row count of True cells of a 2-D boolean array.
-
-    Byte-packing + popcount is several times faster than
-    ``count_nonzero(..., axis=1)`` at the batch shapes this engine uses.
-    """
-    return np.bitwise_count(np.packbits(mask, axis=1)).sum(axis=1, dtype=np.int64)
-
-
-#: Public alias used by the baseline kernels (:mod:`repro.baselines.kernels`).
-row_popcount = _row_popcount
-
-
-def _build_prefix_bits_lut() -> np.ndarray:
-    """``LUT[byte, k]`` = mask of the first ``k`` set bits of ``byte``.
-
-    "First" follows ``np.packbits`` order: bit 7 (MSB) is the earliest array
-    element packed into the byte.  For ``k`` beyond the popcount of ``byte``
-    the full set-bit mask is returned.
-    """
-    lut = np.zeros((256, 9), dtype=np.uint8)
-    for byte in range(256):
-        masks = [0]
-        for bit in range(8):
-            probe = 0x80 >> bit
-            if byte & probe:
-                masks.append(masks[-1] | probe)
-        for k in range(9):
-            lut[byte, k] = masks[min(k, len(masks) - 1)]
-    return lut
-
-
-_PREFIX_BITS_LUT = _build_prefix_bits_lut()
-
-
-def _lower_half_split(recipients: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per row, mask the first ``count // 2`` True cells of ``recipients``.
-
-    Equivalent to ranking each row's True cells in index order and selecting
-    ranks ``1..count // 2``, but runs on packed bytes: a cumulative popcount
-    locates each row's boundary byte and a prefix-bit LUT resolves the split
-    inside it.
-
-    Returns:
-        ``(lower_mask, half)`` where ``lower_mask`` has the same shape as
-        ``recipients`` and ``half`` is the per-row ``count // 2``.
-    """
-    rows = np.arange(recipients.shape[0])
-    packed = np.packbits(recipients, axis=1)
-    cumulative = np.bitwise_count(packed).cumsum(axis=1, dtype=np.int32)
-    half = cumulative[:, -1] // 2
-    boundary = np.argmax(cumulative > half[:, None], axis=1)
-    before = np.take_along_axis(
-        cumulative, np.maximum(boundary - 1, 0)[:, None], axis=1
-    )[:, 0]
-    before[boundary == 0] = 0
-    lower_packed = np.where(cumulative <= half[:, None], packed, 0).astype(np.uint8)
-    lower_packed[rows, boundary] = _PREFIX_BITS_LUT[packed[rows, boundary], half - before]
-    lower = np.unpackbits(lower_packed, axis=1, count=recipients.shape[1]).view(bool)
-    return lower, half
+#: Plane primitives shared with the baseline and adversary kernels; the
+#: module-private aliases are kept for this engine's internal call sites.
+_row_popcount = row_popcount
+_lower_half_split = lower_half_split
 
 
 @dataclass(frozen=True)
@@ -377,6 +338,8 @@ class VectorizedAgreementSimulator:
             return []
         if self.adversary in _UNIFORM_ADVERSARIES:
             return self._run_batch_uniform(inputs, rngs)
+        if self.adversary in _PLANE_KERNEL_ADVERSARIES:
+            return self._run_batch_planes(inputs, rngs)
         return self._run_batch_noise(inputs, rngs)
 
     def _batch_state(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
@@ -772,6 +735,142 @@ class VectorizedAgreementSimulator:
             output ^= (output ^ value) & finishing
             active ^= finishing  # finishing is a subset of active
 
+            if not self.las_vegas and phase >= self.params.num_phases:
+                output ^= (output ^ value) & active
+                active[:] = False
+
+        return self._finalize_batch(inputs, state)
+
+    def _run_batch_planes(
+        self, inputs: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> list[VectorizedRunResult]:
+        """Batched path driven by a pluggable adversary plane kernel.
+
+        The engine owns the honest protocol — tallies, thresholds, flush
+        bookkeeping, committee share draws — and delegates every Byzantine
+        decision to an :class:`~repro.adversary.kernels.base.AdversaryKernel`
+        through four hooks per phase (``setup`` once, then ``round1`` /
+        ``pre_coin`` / ``round2``).  The kernel's additive announcement
+        planes enter the same per-recipient threshold logic the
+        ``random-noise`` path uses, but here the planes are *chosen* by the
+        strategy rather than sampled, and corruptions mutate the shared
+        ``corrupted``/``active``/``budget`` state mid-phase exactly like the
+        object scheduler replacing a freshly corrupted node's broadcast.
+
+        The round-2 case analysis reproduces the object node's
+        ``_best_value_reaching`` tie-breaking (highest count wins, value 1 on
+        ties), which matters once an equivocating kernel can push *both*
+        values past the ``t + 1`` threshold for some recipients.
+        """
+        from repro.adversary.kernels import KernelContext, build_adversary_kernel
+
+        batch, _ = inputs.shape
+        n, t = self.n, self.t
+        quorum = n - t
+        committee_size = self.params.committee_size
+        num_committees = max(1, math.ceil(n / committee_size))
+        phase_cap = self.max_phases if self.las_vegas else self.params.num_phases
+        assert phase_cap is not None
+
+        state = self._batch_state(inputs)
+        value = state["value"]
+        decided = state["decided"]
+        corrupted = state["corrupted"]
+        active = state["active"]
+        can_update = state["can_update"]
+        flush_now = state["flush_now"]
+        flush_next = state["flush_next"]
+        output = state["output"]
+        budget = state["budget"]
+        messages = state["messages"]
+        phases = state["phases"]
+        draw_fns = [rng.integers for rng in rngs]
+        kernel = build_adversary_kernel(self.adversary, n=n, t=t, params=self.params)
+
+        def context(phase: int, start: int, stop: int, running: np.ndarray) -> KernelContext:
+            return KernelContext(
+                n=n, t=t, params=self.params, phase=phase,
+                committee_start=start, committee_stop=stop,
+                value=value, decided=decided, active=active,
+                corrupted=corrupted, can_update=can_update,
+                budget=budget, messages=messages, running=running,
+            )
+
+        kernel.setup(context(0, 0, 0, np.ones(batch, dtype=bool)))
+
+        for phase in range(1, phase_cap + 1):
+            sender_count = _row_popcount(active)
+            running = sender_count > 0
+            if not running.any():
+                break
+            flush_now, flush_next = flush_next, flush_now
+            flush_next[:] = False
+            phases[running] = phase
+
+            committee_index = (phase - 1) % num_committees
+            start = committee_index * committee_size
+            stop = min(n, start + committee_size)
+            ctx = context(phase, start, stop, running)
+
+            # ---------------- Round 1 ----------------
+            ones_pre = _row_popcount(value & active)
+            effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
+            # The kernel may have corrupted mid-round; the victims' honest
+            # broadcasts are discarded, so honest tallies are recomputed.
+            sender_count = _row_popcount(active)
+            ones_honest = _row_popcount(value & active)
+            messages[running] += sender_count[running] * n
+            ones = ones_honest[:, None] + np.asarray(effect1.ones)
+            zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+            updatable = active & can_update
+            quorum1 = ones >= quorum
+            quorum0 = ~quorum1 & (zeros >= quorum)
+            value |= updatable & quorum1
+            value &= ~(updatable & quorum0)
+            decided ^= (decided ^ (quorum1 | quorum0)) & updatable
+
+            # ---------------- Round 2 ----------------
+            # Non-rushing committee corruption happens before the flips exist.
+            kernel.pre_coin(ctx)
+            sender_count = _row_popcount(active)
+            messages[running] += sender_count[running] * n
+            committee_active = active[:, start:stop]
+            shares = self._draw_committee_shares(draw_fns, running, committee_active)
+            honest_sum = shares.sum(axis=1)
+            decided_senders = active & decided
+            d1_honest = _row_popcount(value & decided_senders)
+            d0_honest = _row_popcount(decided_senders) - d1_honest
+            effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
+
+            d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
+            d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
+            finish1 = d1 >= quorum
+            finish0 = ~finish1 & (d0 >= quorum)
+            finish_any = finish1 | finish0
+            reach1 = d1 >= t + 1
+            reach0 = d0 >= t + 1
+            adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
+            adopt0 = ~finish_any & reach0 & ~adopt1
+            coin_case = ~finish_any & ~adopt1 & ~adopt0
+
+            updatable = active & can_update
+            flush_mask = updatable & finish_any
+            value |= updatable & (finish1 | adopt1)
+            value &= ~(updatable & (finish0 | adopt0))
+            decided |= updatable & (finish_any | adopt1 | adopt0)
+            flush_next |= flush_mask
+            can_update ^= flush_mask  # flush_mask is a subset of can_update
+            coin = (honest_sum[:, None] + np.asarray(effect2.shares)) >= 0
+            coin_mask = updatable & coin_case
+            value ^= (value ^ coin) & coin_mask
+            decided &= ~coin_mask
+
+            # Flush-phase terminations (nodes finishing this phase).
+            finishing = active & flush_now
+            output ^= (output ^ value) & finishing
+            active ^= finishing  # finishing is a subset of active
+
+            # Bounded variant: decide by exhaustion after the last phase.
             if not self.las_vegas and phase >= self.params.num_phases:
                 output ^= (output ^ value) & active
                 active[:] = False

@@ -68,6 +68,23 @@ class TestCommands:
         # The dispatch table records the validation mode of fast-path pairs.
         assert "statistical" in output and "exact" in output
 
+    def test_engines_markdown_emits_the_marked_blocks(self, capsys):
+        from repro.engine import markdown_engine_tables
+
+        code = main(["engines", "--markdown"])
+        output = capsys.readouterr().out
+        assert code == 0
+        blocks = markdown_engine_tables()
+        assert blocks["kernel-support"] in output
+        assert blocks["dispatch"] in output
+
+    def test_trials_command_dispatches_adversary_kernel(self, capsys):
+        code = main(["trials", "--n", "19", "--t", "3", "--trials", "3",
+                     "--adversary", "committee-targeting", "--engine", "auto"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "vectorized" in output
+
     def test_trials_command_dispatches_baseline_kernel(self, capsys):
         code = main(["trials", "--n", "17", "--t", "4", "--trials", "3",
                      "--protocol", "phase-king", "--adversary", "static",

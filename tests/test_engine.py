@@ -22,9 +22,13 @@ from repro.simulator.vectorized import run_vectorized_trials
 
 class TestSelectEngine:
     def test_auto_takes_fast_path_for_committee_family(self):
+        # Since the adversary plane kernels landed, the committee family
+        # vectorises every registered adversary strategy.
         for protocol in ("committee-ba", "committee-ba-las-vegas",
                          "chor-coan", "chor-coan-las-vegas"):
-            for adversary in ("null", "coin-attack", "silent", "crash", "random-noise"):
+            for adversary in ("null", "coin-attack", "silent", "crash",
+                              "random-noise", "static", "equivocate",
+                              "committee-targeting"):
                 assert select_engine(protocol, adversary) == "vectorized"
 
     def test_auto_takes_fast_path_for_baseline_kernels(self):
@@ -36,11 +40,15 @@ class TestSelectEngine:
         assert select_engine("sampling-majority", "silent") == "vectorized"
 
     def test_auto_falls_back_to_object(self):
-        assert select_engine("committee-ba", "equivocate") == "object"
         assert select_engine("phase-king", "coin-attack") == "object"
         assert select_engine("ben-or", "coin-attack") == "object"
         assert select_engine("rabin", "crash") == "object"
         assert select_engine("eig", "random-noise") == "object"
+        assert select_engine("sampling-majority", "committee-targeting") == "object"
+        # Committee-family pairs fall back only when options leave the
+        # kernel's modelled set.
+        assert select_engine("committee-ba", "equivocate",
+                             adversary_kwargs={"corrupt_per_phase": 2}) == "object"
 
     def test_object_only_options_disable_the_fast_path(self):
         assert not vectorizable("committee-ba", "coin-attack", max_rounds=100)
@@ -63,7 +71,8 @@ class TestSelectEngine:
         with pytest.raises(ConfigurationError):
             select_engine("phase-king", "coin-attack", engine="vectorized")
         with pytest.raises(ConfigurationError):
-            select_engine("committee-ba", "equivocate", engine="vectorized")
+            select_engine("committee-ba", "equivocate", engine="vectorized",
+                          adversary_kwargs={"corrupt_per_phase": 2})
         with pytest.raises(ConfigurationError):
             select_engine("ben-or", "static", engine="vectorized")
 
@@ -75,27 +84,27 @@ class TestSelectEngine:
         import repro.engine as engine_module
 
         monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 8)
-        small = select_engine("committee-ba", "equivocate", engine="auto",
+        small = select_engine("phase-king", "coin-attack", engine="auto",
                               trials=5, n=32)
         assert small == "object"
-        large = select_engine("committee-ba", "equivocate", engine="auto",
+        large = select_engine("phase-king", "coin-attack", engine="auto",
                               trials=200, n=512)
         assert large == "object-mp"
 
     def test_auto_honors_an_explicit_worker_count(self):
         # An explicit workers= under auto is an explicit request, regardless
         # of sweep size.
-        parallel = select_engine("committee-ba", "equivocate", engine="auto",
+        parallel = select_engine("phase-king", "coin-attack", engine="auto",
                                  trials=5, n=32, workers=4)
         assert parallel == "object-mp"
-        serial = select_engine("committee-ba", "equivocate", engine="auto",
+        serial = select_engine("phase-king", "coin-attack", engine="auto",
                                trials=200, n=512, workers=1)
         assert serial == "object"
 
     def test_explicit_object_never_spawns_processes(self):
         # engine="object" is a strict in-process contract, even for sweeps
         # big enough that auto would escalate.
-        chosen = select_engine("committee-ba", "equivocate", engine="object",
+        chosen = select_engine("phase-king", "coin-attack", engine="object",
                                trials=200, n=512, workers=4)
         assert chosen == "object"
 
@@ -157,7 +166,14 @@ class TestRunSweep:
     def test_params_override_requires_the_vectorized_engine(self):
         params = ProtocolParameters.derive(19, 3)
         with pytest.raises(ConfigurationError):
+            # Adversary kwargs force the object path, which cannot honour a
+            # committee-geometry override.
             run_sweep(19, 3, protocol="committee-ba", adversary="equivocate",
+                      trials=2, params=params,
+                      adversary_kwargs={"corrupt_per_phase": 2})
+        with pytest.raises(ConfigurationError):
+            # phase-king vectorises but its kernel has no params= support.
+            run_sweep(17, 4, protocol="phase-king", adversary="static",
                       trials=2, params=params)
 
     def test_argument_validation(self):
@@ -175,17 +191,17 @@ class TestDispatchTable:
         rows = dispatch_table()
         assert len(rows) == 9 * 8  # PROTOCOLS x ADVERSARIES
         fast = [row for row in rows if row["auto engine"] == "vectorized"]
-        # committee family x 5 modelled adversaries, plus the baseline
-        # kernels: rabin x 3, ben-or x 2, phase-king x 3, eig x 3,
-        # sampling-majority x 2.
-        assert len(fast) == 4 * 5 + 3 + 2 + 3 + 3 + 2
+        # committee family x all 8 adversaries (the plane kernels complete
+        # the matrix), plus the baseline kernels: rabin x 3, ben-or x 2,
+        # phase-king x 3, eig x 3, sampling-majority x 2.
+        assert len(fast) == 4 * 8 + 3 + 2 + 3 + 3 + 2
         for row in fast:
             spec = PROTOCOL_KERNELS[row["protocol"]]
             assert row["fast-path behaviour"] == spec.behaviours[row["adversary"]]
             assert row["kernel"] == spec.name
             assert row["validation"] in ("exact", "statistical")
         committee_rows = [row for row in fast if row["kernel"] == "committee"]
-        assert len(committee_rows) == 4 * 5
+        assert len(committee_rows) == 4 * 8
         for row in committee_rows:
             assert row["fast-path behaviour"] == ADVERSARY_FAST_PATH[row["adversary"]]
 
@@ -197,3 +213,7 @@ class TestDispatchTable:
         assert by_protocol["ben-or"]["max_rounds"] == "yes"
         assert "static" in by_protocol["phase-king"]["vectorized adversaries"]
         assert "coin-attack" in by_protocol["committee-ba"]["vectorized adversaries"]
+        # Acceptance bar of the adversary-kernel issue: the committee family
+        # reports support for the adaptive per-recipient strategies.
+        for adversary in ("equivocate", "committee-targeting"):
+            assert adversary in by_protocol["committee-ba"]["vectorized adversaries"]

@@ -49,6 +49,14 @@ class TestHeadlineProperties:
         assert rows[0]["q"] == 0 and rows[0]["mean_rounds"] <= 8
         assert rows[-1]["mean_rounds"] >= rows[0]["mean_rounds"]
 
+    def test_e5_sweeps_both_adversary_models(self):
+        report = ALL_EXPERIMENTS["E5"](quick=True)
+        for row in report.rows:
+            # The rushing-straddle and committee-targeting sweeps both ran.
+            assert row["rounds_ours"] > 0 and row["rounds_cc"] > 0
+            assert row["rounds_ours_ct"] > 0 and row["rounds_cc_ct"] > 0
+            assert row["speedup_ct"] > 0
+
     def test_e6_every_cell_is_correct(self):
         report = run_e6(quick=True)
         assert len(report.rows) == 8 * 3 * 2
