@@ -47,7 +47,11 @@ class KernelSpec:
         run_trials: Sweep entry point with the
             :func:`repro.simulator.vectorized.run_vectorized_trials`
             signature convention
-            (``(n, t, *, adversary, inputs, trials, seed, ...)``).
+            (``(n, t, *, adversary, inputs, trials, seed, ...)``).  Every
+            kernel also honours ``trial_offset``: trial ``k`` of the call
+            uses the Philox key ``(seed, trial_offset + k)``, so contiguous
+            sub-batches concatenate bit-identically to one full batch (the
+            sharded ``vectorized-mp`` executor's contract).
         behaviours: Object-simulator adversary name -> kernel fault behaviour.
             Only pairs listed here take the vectorised fast path.
         exact: Adversary names whose kernel runs are bit-identical to the

@@ -41,6 +41,7 @@ def run_ben_or_trials(
     seed: int = 0,
     phases_factor: float = 4.0,
     max_rounds: int | None = None,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Ben-Or's protocol.
 
@@ -54,7 +55,7 @@ def run_ben_or_trials(
 
     params = rabin_parameters(n, t, phases_factor=phases_factor)
     cap_rounds = max_rounds if max_rounds is not None else default_max_rounds("ben-or", n, t)
-    input_rows, rngs = batch_setup(n, inputs, trials, seed)
+    input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     state = run_phase_skeleton_batch(
         n,
         t,

@@ -74,18 +74,21 @@ PAYLOAD_BITS: dict[str, int] = {
 
 
 def batch_setup(
-    n: int, inputs: str, trials: int, seed: int
+    n: int, inputs: str, trials: int, seed: int, trial_offset: int = 0
 ) -> tuple[np.ndarray, list[np.random.Generator]]:
     """Materialise the ``(B, n)`` input plane and the per-trial generators.
 
-    Trial ``k`` uses the Philox key ``(seed, k)`` and — exactly as in the
-    committee engine — consumes randomness from its generator only for the
-    ``random`` input pattern, so deterministic-input sweeps leave the trial
-    streams untouched for the protocol itself.
+    Trial ``k`` uses the Philox key ``(seed, trial_offset + k)`` and — exactly
+    as in the committee engine — consumes randomness from its generator only
+    for the ``random`` input pattern, so deterministic-input sweeps leave the
+    trial streams untouched for the protocol itself.  ``trial_offset`` lets a
+    shard worker run a contiguous sub-range of a larger sweep on the sweep's
+    global trial counters, keeping sharded execution bit-identical to the
+    single-batch run.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be positive, got {trials}")
-    rngs = [trial_generator(seed, k) for k in range(trials)]
+    rngs = [trial_generator(seed, trial_offset + k) for k in range(trials)]
     rows = np.stack([trial_inputs(n, inputs, rng) for rng in rngs])
     return rows, rngs
 

@@ -75,6 +75,7 @@ def run_eig_trials(
     inputs: str = "split",
     trials: int = 10,
     seed: int = 0,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of EIG (``t < n/3``, ``t + 1`` rounds)."""
     validate_n_t(n, t)
@@ -88,7 +89,7 @@ def run_eig_trials(
             f"EIG tree would hold ~{estimated} entries for n={n}, t={t}; "
             "this baseline is only meant for very small networks"
         )
-    input_rows, _ = batch_setup(n, inputs, trials, seed)
+    input_rows, _ = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
     num_rounds = t + 1
 

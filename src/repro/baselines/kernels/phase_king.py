@@ -51,6 +51,7 @@ def run_phase_king_trials(
     inputs: str = "split",
     trials: int = 10,
     seed: int = 0,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of phase king (``n > 4t``)."""
     validate_n_t(n, t)
@@ -63,7 +64,7 @@ def run_phase_king_trials(
             f"phase-king kernel behaviour must be one of {PHASE_KING_BEHAVIOURS}, "
             f"got {adversary!r}"
         )
-    input_rows, _ = batch_setup(n, inputs, trials, seed)
+    input_rows, _ = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
 
     corrupted_cols = corrupted_columns(n, t, adversary)

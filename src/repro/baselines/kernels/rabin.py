@@ -36,16 +36,18 @@ def run_rabin_trials(
     trials: int = 10,
     seed: int = 0,
     phases_factor: float = 4.0,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Rabin's protocol.
 
     Mirrors :func:`repro.simulator.vectorized.run_vectorized_trials`: trial
-    ``k`` uses the Philox key ``(seed, k)`` for any private randomness and the
-    dealer seed ``seed + k`` for the public coin stream.
+    ``k`` uses the Philox key ``(seed, trial_offset + k)`` for any private
+    randomness and the dealer seed ``seed + trial_offset + k`` for the public
+    coin stream, so sharded sub-batches replay the exact single-batch streams.
     """
     validate_n_t(n, t)
     params = rabin_parameters(n, t, phases_factor=phases_factor)
-    input_rows, rngs = batch_setup(n, inputs, trials, seed)
+    input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     state = run_phase_skeleton_batch(
         n,
         t,
@@ -56,7 +58,7 @@ def run_rabin_trials(
         num_phases=params.num_phases,
         las_vegas=False,
         max_phases=params.num_phases,
-        dealer_seeds=[seed + k for k in range(trials)],
+        dealer_seeds=[seed + trial_offset + k for k in range(trials)],
     )
     results = finalize_planes(
         n,

@@ -52,6 +52,7 @@ def run_sampling_majority_trials(
     seed: int = 0,
     iterations_factor: float = 2.0,
     sample_size: int = 2,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of the sampling-majority process."""
     validate_n_t(n, t)
@@ -60,7 +61,7 @@ def run_sampling_majority_trials(
             f"sampling-majority kernel behaviour must be one of {SAMPLING_BEHAVIOURS}, "
             f"got {adversary!r}"
         )
-    input_rows, rngs = batch_setup(n, inputs, trials, seed)
+    input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
     log_n = max(1.0, math.log2(max(2, n)))
     num_iterations = max(1, math.ceil(iterations_factor * log_n * log_n))

@@ -10,10 +10,21 @@ Python:
 ``trials``
     Repeat a configuration over many seeds and print the aggregate statistics
     (mean/median/max rounds, agreement and validity rates).  Dispatches via
-    :func:`repro.engine.run_sweep`: ``--engine auto`` takes the batched
-    vectorised fast path when the configuration has one, ``--engine object``
-    forces the faithful simulator and ``--workers`` fans object-simulator
-    sweeps out over processes.
+    :func:`repro.engine.run_sweep`: the default ``--engine auto`` takes the
+    batched vectorised fast path when the configuration has one, ``--engine
+    object`` forces the faithful simulator and ``--workers`` fans sweeps out
+    over processes (trial-range sharding for vectorised sweeps, seed-range
+    fan-out for object sweeps).
+
+``sweep``
+    The orchestration layer (:mod:`repro.sweeps`): ``run`` executes the
+    pending points of a declarative scenario spec (a library name or a
+    ``.json``/``.toml`` file) against the persistent results store, ``status``
+    reports cache coverage, ``expand`` prints the materialised grid,
+    ``report`` renders the result table straight from the store and
+    ``library`` lists the named scenario specs.  Runs are interrupt-safe and
+    resumable: every computed point is durable immediately, and a re-run
+    executes only uncached points.
 
 ``experiment``
     Regenerate one of the E1–E10 experiment tables (quick sweep by default,
@@ -36,6 +47,9 @@ Examples::
     python -m repro trials --n 2000 --t 250 --trials 100 --engine vectorized
     python -m repro experiment E1 --full
     python -m repro engines
+    python -m repro sweep run scale-ladder --workers 4
+    python -m repro sweep status scale-ladder
+    python -m repro sweep report e6-quick
 """
 
 from __future__ import annotations
@@ -94,12 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(trials_parser)
     trials_parser.add_argument("--trials", type=int, default=10,
                                help="number of independent trials (default 10)")
-    trials_parser.add_argument("--engine", choices=list(ENGINES), default="object",
-                               help="execution engine (default object; auto takes the "
-                                    "vectorized fast path when available)")
+    trials_parser.add_argument("--engine", choices=list(ENGINES), default="auto",
+                               help="execution engine (default auto: the vectorized "
+                                    "fast path when the configuration has one, the "
+                                    "object simulator otherwise; --engine object "
+                                    "forces the faithful simulator)")
     trials_parser.add_argument("--workers", type=int, default=None,
-                               help="process count for object-simulator sweeps; "
-                                    "a value > 1 fans the seed range out over a pool")
+                               help="process count for multi-process sweeps; a value "
+                                    "> 1 shards vectorized sweeps by trial range and "
+                                    "fans object sweeps out by seed range")
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the E1-E10 experiment tables"
@@ -116,6 +133,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true",
         help="emit the tables as marked markdown blocks (the exact content "
              "embedded in README.md and docs/, enforced by tests/test_docs.py)")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="orchestrate declarative scenario sweeps (cached, resumable)"
+    )
+    sweep_subparsers = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    def _add_spec_arguments(parser: argparse.ArgumentParser, *, store: bool) -> None:
+        parser.add_argument("spec", metavar="SPEC",
+                            help="library spec name (see `repro sweep library`) or a "
+                                 ".json/.toml spec file")
+        if store:
+            # Engine choice only matters where the store is consulted (it
+            # selects the result family points are cached under).
+            parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                                help="engine override (default: the spec's own choice)")
+            parser.add_argument("--store", metavar="DIR", default=None,
+                                help="results store root (default "
+                                     "$REPRO_SWEEP_STORE or benchmarks/results/store)")
+
+    sweep_run = sweep_subparsers.add_parser(
+        "run", help="execute the spec's pending points (cached points are skipped)"
+    )
+    _add_spec_arguments(sweep_run, store=True)
+    sweep_run.add_argument("--workers", type=int, default=None,
+                           help="process count; > 1 shards vectorized points by "
+                                "trial range (bit-identical to single-process)")
+    sweep_run.add_argument("--limit", type=int, default=None,
+                           help="execute at most this many pending points, leaving "
+                                "the rest for a later (resumed) invocation")
+    sweep_run.add_argument("--quiet", action="store_true",
+                           help="suppress the per-point progress lines")
+
+    sweep_status = sweep_subparsers.add_parser(
+        "status", help="report the spec's cache coverage without executing"
+    )
+    _add_spec_arguments(sweep_status, store=True)
+
+    sweep_expand = sweep_subparsers.add_parser(
+        "expand", help="print the spec's materialised point grid"
+    )
+    _add_spec_arguments(sweep_expand, store=False)
+    sweep_expand.add_argument("--json", action="store_true", dest="as_json",
+                              help="emit the canonical spec JSON instead of a table")
+
+    sweep_report = sweep_subparsers.add_parser(
+        "report", help="render the spec's result table from the store"
+    )
+    _add_spec_arguments(sweep_report, store=True)
+
+    sweep_library = sweep_subparsers.add_parser(
+        "library", help="list the named scenario specs"
+    )
+    sweep_library.add_argument(
+        "--markdown", action="store_true",
+        help="emit the library table as a marked markdown block (the exact "
+             "content embedded in docs/sweeps.md, enforced by tests/test_docs.py)")
     return parser
 
 
@@ -181,6 +254,93 @@ def _command_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec(reference: str):
+    """Resolve a spec reference: a library name or a .json/.toml file path."""
+    from repro.sweeps import SWEEP_LIBRARY, spec_from_file
+
+    if reference in SWEEP_LIBRARY:
+        return SWEEP_LIBRARY[reference]
+    if reference.endswith((".json", ".toml")):
+        return spec_from_file(reference)
+    from repro.exceptions import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown sweep spec {reference!r}: not a library name "
+        f"({', '.join(sorted(SWEEP_LIBRARY))}) and not a .json/.toml file"
+    )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.sweeps import (
+        ResultsStore,
+        expand_rows,
+        markdown_library_table,
+        report_rows,
+        run_spec,
+        status_spec,
+    )
+    from repro.sweeps.library import library_table
+
+    if args.sweep_command == "library":
+        if args.markdown:
+            print(markdown_library_table())
+        else:
+            print(format_table(library_table()))
+        return 0
+
+    try:
+        spec = _load_spec(args.spec)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.sweep_command == "expand":
+        if args.as_json:
+            print(spec.to_json())
+        else:
+            print(f"spec {spec.name}: {spec.description or '(no description)'}")
+            print(format_table(expand_rows(spec.expand())))
+        return 0
+
+    store = ResultsStore(args.store)
+    try:
+        if args.sweep_command == "status":
+            report = status_spec(spec, store=store, engine=args.engine)
+            for outcome in report.outcomes:
+                print(f"  {outcome.status:8s} {outcome.point.label()}  "
+                      f"[{outcome.key[:12]}]")
+            print(report.summary_line())
+            return 0
+        if args.sweep_command == "report":
+            rows = report_rows(spec, store=store, engine=args.engine)
+            print(f"spec {spec.name}: results from {store.root}")
+            print(format_table(rows))
+            missing = sum(1 for row in rows if row["engine"] is None)
+            if missing:
+                print(f"({missing} of {len(rows)} points not in the store yet; "
+                      f"run `repro sweep run {args.spec}`)")
+            return 0
+        if args.sweep_command == "run":
+            def progress(outcome, index, total):
+                if not args.quiet:
+                    timing = f" ({outcome.seconds:.2f}s, {outcome.engine})" \
+                        if outcome.status == "computed" else ""
+                    print(f"  [{index + 1}/{total}] {outcome.status:8s} "
+                          f"{outcome.point.label()}{timing}", flush=True)
+
+            report = run_spec(
+                spec, store=store, engine=args.engine,
+                workers=args.workers, limit=args.limit, progress=progress,
+            )
+            print(report.summary_line())
+            return 0
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled sweep command {args.sweep_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -193,6 +353,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "engines":
         return _command_engines(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

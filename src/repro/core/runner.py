@@ -325,10 +325,42 @@ class TrialSummary:
 
 @dataclass
 class TrialsResult:
-    """Aggregate of many trials of the same experiment."""
+    """Aggregate of many trials of the same experiment.
+
+    Aggregates are *mergeable*: every statistic is a property computed from
+    the per-trial list, so concatenating the ``trials`` of several partial
+    results of the same experiment (:meth:`merge`) reproduces the aggregate
+    of the unsplit sweep exactly — the property the sharded executors rely
+    on.
+    """
 
     experiment: AgreementExperiment
     trials: list[TrialSummary]
+
+    @classmethod
+    def merge(cls, parts: Sequence["TrialsResult"]) -> "TrialsResult":
+        """Concatenate partial results of the same experiment, in order.
+
+        Because all aggregate statistics derive from the per-trial list, the
+        merged result is exactly the aggregate the unsplit sweep would have
+        produced; sub-result order is preserved (shard workers hand back
+        contiguous trial ranges in range order).
+
+        Raises:
+            ConfigurationError: When ``parts`` is empty or the parts describe
+                different experiments.
+        """
+        if not parts:
+            raise ConfigurationError("cannot merge zero partial results")
+        experiment = parts[0].experiment
+        if any(part.experiment != experiment for part in parts[1:]):
+            raise ConfigurationError(
+                "cannot merge partial results of different experiments"
+            )
+        return cls(
+            experiment=experiment,
+            trials=[summary for part in parts for summary in part.trials],
+        )
 
     @property
     def num_trials(self) -> int:

@@ -1,8 +1,8 @@
-"""Unified sweep execution — one entry point, three engines.
+"""Unified sweep execution — one entry point, four engines.
 
 Every multi-trial experiment in the repository is a *sweep*: the same
 ``(n, t, protocol, adversary, inputs)`` configuration repeated over a seed
-range.  Three executors can run a sweep:
+range.  Four executors can run a sweep:
 
 ``vectorized``
     A batched NumPy kernel: all trials execute simultaneously on
@@ -18,6 +18,15 @@ range.  Three executors can run a sweep:
     The faithful per-message object simulator
     (:mod:`repro.simulator.scheduler`), one seeded run per trial.  Supports
     every protocol and adversary.
+
+``vectorized-mp``
+    The batched kernel sharded over a ``ProcessPoolExecutor`` by trial range:
+    the ``trials`` counter range is split into contiguous per-worker
+    sub-batches, each worker runs its range on the sweep's global Philox keys
+    (trial ``k`` always uses key ``(base_seed, k)`` — the kernels'
+    ``trial_offset`` contract) and the partial aggregates are merged exactly
+    with :meth:`repro.core.runner.TrialsResult.merge`.  Bit-identical to
+    ``vectorized``; only wall-clock time changes.
 
 ``object-mp``
     The object simulator fanned out over a ``ProcessPoolExecutor`` by seed
@@ -60,7 +69,18 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulator.vectorized import run_vectorized_trials
 
 #: Engine names accepted by :func:`run_sweep`.
-ENGINES = ("auto", "vectorized", "object", "object-mp")
+ENGINES = ("auto", "vectorized", "vectorized-mp", "object", "object-mp")
+
+#: Engine name -> result family.  Engines within one family are bit-identical
+#: (the parallel variants only change wall-clock time), which is why the
+#: sweep results store (:mod:`repro.sweeps.store`) keys cached results by
+#: family rather than by concrete engine.
+ENGINE_FAMILIES = {
+    "vectorized": "vectorized",
+    "vectorized-mp": "vectorized",
+    "object": "object",
+    "object-mp": "object",
+}
 
 #: Object-simulator adversary names -> committee-engine behaviours.  The
 #: vectorised names themselves are accepted as aliases so existing callers of
@@ -193,16 +213,20 @@ def select_engine(
         protocol_kwargs=protocol_kwargs,
         adversary_kwargs=adversary_kwargs,
     )
-    if engine == "vectorized":
+    if engine in ("vectorized", "vectorized-mp"):
         if not fast:
             raise ConfigurationError(
                 f"no vectorized kernel for protocol={protocol!r} "
                 f"adversary={adversary!r} with the given options; "
                 "use engine='object' (or 'auto')"
             )
-        return "vectorized"
+        return engine
     if engine == "auto":
         if fast:
+            # An explicit workers= under auto is an explicit request for the
+            # sharded pool (results are bit-identical either way).
+            if workers is not None and workers > 1 and trials > 1:
+                return "vectorized-mp"
             return "vectorized"
         if workers is not None:
             return "object-mp" if workers > 1 else "object"
@@ -257,11 +281,13 @@ def _run_vectorized_sweep(
     trials: int,
     base_seed: int,
     params: ProtocolParameters | None,
+    trial_offset: int = 0,
 ) -> list[TrialSummary]:
     """Batched kernel sweep, summarised in the object-sweep format.
 
-    Trial ``k`` uses the counter-based Philox key ``(base_seed, k)``; the
-    recorded per-trial ``seed`` is ``k`` (the key counter), matching
+    Trial ``k`` of the call uses the counter-based Philox key
+    ``(base_seed, trial_offset + k)``; the recorded per-trial ``seed`` is the
+    global key counter ``trial_offset + k``, matching
     :func:`repro.simulator.vectorized.run_vectorized_trials`.
     """
     spec = PROTOCOL_KERNELS[experiment.protocol]
@@ -285,6 +311,7 @@ def _run_vectorized_sweep(
         inputs=experiment.inputs,
         trials=trials,
         seed=base_seed,
+        trial_offset=trial_offset,
         **kwargs,
     )
     if not experiment.allow_timeout and any(r.timed_out for r in aggregate.results):
@@ -294,7 +321,7 @@ def _run_vectorized_sweep(
         )
     return [
         TrialSummary(
-            seed=k,
+            seed=trial_offset + k,
             rounds=result.rounds,
             phases=result.phases,
             agreement=result.agreement,
@@ -307,6 +334,47 @@ def _run_vectorized_sweep(
         )
         for k, result in enumerate(aggregate.results)
     ]
+
+
+def _vectorized_shard(
+    payload: tuple[AgreementExperiment, int, int, ProtocolParameters | None, int],
+) -> list[TrialSummary]:
+    """Worker entry point: one contiguous trial range of a sharded sweep."""
+    experiment, count, base_seed, params, trial_offset = payload
+    return _run_vectorized_sweep(experiment, count, base_seed, params, trial_offset)
+
+
+def _run_vectorized_sharded(
+    experiment: AgreementExperiment,
+    trials: int,
+    base_seed: int,
+    params: ProtocolParameters | None,
+    workers: int | None,
+) -> list[TrialSummary]:
+    """The batched kernel sweep sharded over processes by trial range.
+
+    The trial counter range ``[0, trials)`` is split into contiguous
+    sub-batches; each worker runs its sub-batch with ``trial_offset`` set to
+    the range start, so every trial draws from the same ``(base_seed, k)``
+    Philox key it would use in the single-process batch.  Partial aggregates
+    are merged in range order via :meth:`TrialsResult.merge`, which makes the
+    sharded sweep bit-identical to ``engine="vectorized"``.
+    """
+    pool_size = workers if workers is not None else (os.cpu_count() or 1)
+    pool_size = max(1, min(pool_size, trials))
+    if pool_size == 1:
+        return _run_vectorized_sweep(experiment, trials, base_seed, params)
+    size = -(-trials // pool_size)
+    shards = [
+        (experiment, min(size, trials - start), base_seed, params, start)
+        for start in range(0, trials, size)
+    ]
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        parts = list(pool.map(_vectorized_shard, shards))
+    merged = TrialsResult.merge(
+        [TrialsResult(experiment=experiment, trials=part) for part in parts]
+    )
+    return merged.trials
 
 
 def run_sweep(
@@ -337,11 +405,13 @@ def run_sweep(
         engine: ``"auto"`` (default) picks the batched vectorised kernel
             whenever :data:`PROTOCOL_KERNELS` registers one for the
             ``(protocol, adversary)`` pair and otherwise falls back to the
-            object simulator, escalating to the multiprocessing seed-range
-            executor for large sweeps; ``"vectorized"`` / ``"object"`` /
+            object simulator, escalating to a multiprocessing executor when
+            ``workers > 1`` is requested (trial-range sharding of the batched
+            kernel) or the object sweep is large (seed-range fan-out);
+            ``"vectorized"`` / ``"vectorized-mp"`` / ``"object"`` /
             ``"object-mp"`` force a path (``"object"`` never spawns
             processes).
-        workers: Process count for the seed-range executor (``None`` = one
+        workers: Process count for the sharded executors (``None`` = one
             per CPU).  Results never depend on it.
         params: Committee-geometry override for the committee-family kernels
             (used by E3 to decouple the declared ``t`` from the attack
@@ -387,7 +457,7 @@ def run_sweep(
         adversary_kwargs=experiment.adversary_kwargs,
     )
     if params is not None and (
-        chosen != "vectorized"
+        chosen not in ("vectorized", "vectorized-mp")
         or not PROTOCOL_KERNELS[experiment.protocol].supports_params
     ):
         raise ConfigurationError(
@@ -397,6 +467,10 @@ def run_sweep(
 
     if chosen == "vectorized":
         summaries = _run_vectorized_sweep(experiment, trials, base_seed, params)
+    elif chosen == "vectorized-mp":
+        summaries = _run_vectorized_sharded(
+            experiment, trials, base_seed, params, workers
+        )
     else:
         summaries = _run_object_sweep(
             experiment, trials, base_seed, workers, parallel=chosen == "object-mp"
@@ -538,6 +612,7 @@ def markdown_engine_tables() -> dict[str, str]:
 
 __all__ = [
     "ADVERSARY_FAST_PATH",
+    "ENGINE_FAMILIES",
     "ENGINES",
     "PROTOCOL_KERNELS",
     "SweepResult",

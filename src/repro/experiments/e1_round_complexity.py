@@ -27,7 +27,9 @@ from repro.core.parameters import predicted_rounds, predicted_rounds_chor_coan
 from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
 
-#: (n, list of t values, trials per point)
+#: (n, list of t values, trials per point).  The quick grid is also available
+#: as the declarative library spec ``e1-quick`` (``repro sweep run e1-quick``),
+#: which caches per-point results in the sweep store.
 QUICK_SWEEP = (256, [4, 8, 16, 32, 64, 85], 8)
 FULL_SWEEP = (1024, [8, 16, 32, 64, 100, 150, 200, 250, 300, 341], 20)
 

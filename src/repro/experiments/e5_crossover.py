@@ -31,6 +31,8 @@ from repro.core.parameters import ProtocolParameters, crossover_t
 from repro.engine import run_sweep
 from repro.metrics.reporting import ExperimentReport
 
+#: The quick grid is also available as the declarative library spec
+#: ``e5-quick`` (``repro sweep run e5-quick``), cached in the sweep store.
 QUICK_SWEEP = (256, [4, 8, 16, 32, 48, 64, 85], 6)
 FULL_SWEEP = (1024, [8, 16, 32, 48, 64, 96, 128, 192, 256, 341], 15)
 

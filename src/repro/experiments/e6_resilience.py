@@ -40,6 +40,8 @@ ADVERSARIES = ["null", "silent", "static", "random-noise", "equivocate",
                "coin-attack", "committee-targeting", "crash"]
 INPUTS = ["split", "unanimous-0", "unanimous-1"]
 
+#: The quick matrix is also available as the declarative library spec
+#: ``e6-quick`` (``repro sweep run e6-quick``), cached in the sweep store.
 QUICK_CONFIG = (19, 3)
 FULL_CONFIG = (46, 6)
 

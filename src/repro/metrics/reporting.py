@@ -98,6 +98,41 @@ def format_markdown_table(
     return f"{header}\n{separator}\n{body}"
 
 
+def sweep_report_rows(
+    records: Sequence[tuple[object, dict | None]],
+) -> list[dict[str, object]]:
+    """Report-from-store: flatten stored sweep-point records into table rows.
+
+    Args:
+        records: ``(point, record)`` pairs in grid order, where ``point``
+            carries the configuration attributes of a
+            :class:`repro.sweeps.spec.SweepPoint` and ``record`` is the
+            stored dict (or None for a not-yet-computed point, whose
+            measurement cells render as ``-`` so coverage gaps stay
+            visible).
+    """
+    rows = []
+    for point, record in records:
+        summary = (record or {}).get("summary", {})
+        rows.append(
+            {
+                "protocol": point.protocol,
+                "adversary": point.adversary,
+                "inputs": point.inputs,
+                "n": point.n,
+                "t": point.t,
+                "alpha": point.alpha,
+                "trials": point.trials,
+                "engine": (record or {}).get("engine"),
+                "mean_rounds": summary.get("mean_rounds"),
+                "mean_messages": summary.get("mean_messages"),
+                "agreement_rate": summary.get("agreement_rate"),
+                "validity_rate": summary.get("validity_rate"),
+            }
+        )
+    return rows
+
+
 @dataclass
 class ExperimentReport:
     """A titled, annotated table for one experiment.

@@ -1059,12 +1059,17 @@ def run_vectorized_trials(
     alpha: float = 4.0,
     params: ProtocolParameters | None = None,
     batch: bool = True,
+    trial_offset: int = 0,
 ) -> VectorizedAggregate:
     """Run several vectorised trials and aggregate them.
 
     Mirrors :func:`repro.core.runner.run_trials` closely enough that benchmark
     code can switch between the two engines by network size.  Trial ``k`` uses
-    the counter-based Philox key ``(seed, k)``.
+    the counter-based Philox key ``(seed, trial_offset + k)``, so a sweep of
+    ``T`` trials can be split into contiguous sub-batches (each worker passing
+    its range start as ``trial_offset``) whose concatenated results are
+    bit-identical to the single-batch run — the contract the ``vectorized-mp``
+    sharded executor of :mod:`repro.engine` relies on.
 
     By default the whole sweep executes as one :meth:`run_batch` call on
     ``(trials, n)`` arrays; ``batch=False`` falls back to the per-trial loop
@@ -1076,7 +1081,7 @@ def run_vectorized_trials(
     simulator = build_vectorized_simulator(
         n, t, protocol=protocol, adversary=adversary, alpha=alpha, params=params
     )
-    rngs = [trial_generator(seed, k) for k in range(trials)]
+    rngs = [trial_generator(seed, trial_offset + k) for k in range(trials)]
     input_rows = np.stack([_trial_inputs(n, inputs, rng) for rng in rngs])
     if batch:
         results: Sequence[VectorizedRunResult] = simulator.run_batch(input_rows, rngs)

@@ -23,6 +23,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trials_engine_defaults_to_auto(self):
+        # The dispatch registry's choice is the default; `object` stays
+        # reachable explicitly (covered in TestCommands below).
+        args = build_parser().parse_args(["trials"])
+        assert args.engine == "auto"
+
 
 class TestCommands:
     def test_run_command_prints_metrics_and_succeeds(self, capsys):
@@ -37,12 +43,22 @@ class TestCommands:
         assert code == 0
         assert "yes" in capsys.readouterr().out
 
-    def test_trials_command(self, capsys):
+    def test_trials_command_defaults_to_the_fast_path(self, capsys):
+        # Default --engine auto: committee-ba/coin-attack has a kernel, so
+        # the CLI takes the vectorized fast path without being asked.
         code = main(["trials", "--n", "16", "--t", "3", "--trials", "3", "--seed", "5"])
         output = capsys.readouterr().out
         assert code == 0
         assert "agreement_rate" in output
         assert "mean_rounds" in output
+        assert "vectorized" in output
+
+    def test_trials_command_object_engine_stays_reachable(self, capsys):
+        code = main(["trials", "--n", "16", "--t", "3", "--trials", "3",
+                     "--seed", "5", "--engine", "object"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "object" in output and "vectorized" not in output
 
     def test_experiment_command_quick(self, capsys):
         code = main(["experiment", "e7"])
