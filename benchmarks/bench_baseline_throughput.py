@@ -25,12 +25,17 @@ from repro.engine import run_sweep
 MIN_KERNEL_SPEEDUP = 5.0
 
 #: (probe name, protocol, adversary, n, t, kernel trials, object trials).
-#: Both probes run at the full E9 landscape scale (n = 512); rabin's object
-#: reference is a single trial because one attacked 512-node object run
-#: already delivers ~4M messages through the Python scheduler.
+#: The probes run at E9-landscape scale; the object references are single
+#: trials because one attacked 512-node object run already delivers millions
+#: of messages through the Python scheduler.  The ``phase-king-equivocate``
+#: probe covers a pair the PhaseEngine unification newly vectorised (an
+#: adaptive adversary on a baseline protocol); its object reference runs at
+#: n = 256 (t + 1 = 64 phases, 128 rounds of ~256^2 messages) to keep the
+#: smoke job's wall-clock bounded.
 PROBES = (
     ("rabin", "rabin", "coin-attack", 512, 64, 32, 1),
     ("sampling-majority", "sampling-majority", "silent", 512, 1, 32, 1),
+    ("phase-king-equivocate", "phase-king", "equivocate", 256, 63, 32, 1),
 )
 
 

@@ -1,19 +1,20 @@
 """Batched adversary kernels — Byzantine strategies as ``(B, n)``-plane ops.
 
-The committee engine's original adversary fast paths (``none``/``straddle``/
-``silent``/``crash``/``random-noise``) are hard-wired into the engine loop.
-This package makes the remaining strategies pluggable: each adversary is an
-:class:`~repro.adversary.kernels.base.AdversaryKernel` the engine drives
-through per-round hooks, corrupting against per-trial budgets and returning
-additive per-recipient announcement planes.  See :mod:`.base` for the
-protocol and the engine-side contract.
+Every adversary behaviour the plane engines simulate is an
+:class:`~repro.adversary.kernels.base.AdversaryKernel` the shared
+:class:`repro.simulator.phase_engine.PhaseEngine` (and the hook-driven
+baseline kernels) drive through per-round hooks: corruption against per-trial
+budgets, additive per-recipient announcement planes, coin-share splits.  See
+:mod:`.base` for the protocol and the engine-side contract — the engine never
+branches on a strategy name, so a strategy written once runs against every
+protocol kernel whose hook surface supports it.
 
-:data:`ADVERSARY_PLANE_KERNELS` is the behaviour registry the committee
-engine consults: behaviour name -> kernel class.  The engine merges these
-names into :data:`repro.simulator.vectorized.VECTORIZED_ADVERSARIES`, and
-:data:`repro.engine.ADVERSARY_FAST_PATH` maps the object-simulator strategy
-names onto them, so ``run_sweep``/``select_engine`` dispatch per
-``(protocol, adversary)`` pair exactly as for the built-in behaviours.
+:data:`ADVERSARY_PLANE_KERNELS` is the behaviour registry: behaviour name ->
+kernel class, covering the full strategy matrix of
+:data:`repro.core.runner.ADVERSARIES`.  Which ``(protocol, adversary)`` pairs
+take a fast path is *derived* from the kernels' capability requirements and
+the protocol kernels' declared hook surfaces — see
+:mod:`.capabilities` and :data:`repro.engine.PROTOCOL_KERNELS`.
 """
 
 from __future__ import annotations
@@ -24,16 +25,29 @@ from repro.adversary.kernels.base import (
     Round1Effect,
     Round2Effect,
 )
+from repro.adversary.kernels.capabilities import (
+    ADVERSARY_PROFILES,
+    AdversaryProfile,
+    derive_behaviours,
+    inapplicable_adversaries,
+)
 from repro.adversary.kernels.committee_targeting import CommitteeTargetingKernel
+from repro.adversary.kernels.crash import AdaptiveCrashKernel
 from repro.adversary.kernels.equivocate import EquivocatePlaneKernel
+from repro.adversary.kernels.noise import RandomNoiseKernel
+from repro.adversary.kernels.passive import PassiveKernel, SilentKernel
 from repro.adversary.kernels.static import StaticEquivocateKernel
+from repro.adversary.kernels.straddle import StraddleKernel
 from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConfigurationError
 
-#: Behaviour name -> kernel class.  These are the committee-engine adversary
-#: behaviours served by the plane-kernel path (the aggregate-counter and
-#: noise behaviours stay on their dedicated engine loops).
+#: Behaviour name -> kernel class, covering the full strategy matrix.
 ADVERSARY_PLANE_KERNELS: dict[str, type[AdversaryKernel]] = {
+    "none": PassiveKernel,
+    "silent": SilentKernel,
+    "random-noise": RandomNoiseKernel,
+    "straddle": StraddleKernel,
+    "crash": AdaptiveCrashKernel,
     "static": StaticEquivocateKernel,
     "equivocate": EquivocatePlaneKernel,
     "committee-targeting": CommitteeTargetingKernel,
@@ -46,7 +60,7 @@ def build_adversary_kernel(
     """Instantiate the plane kernel for one behaviour name.
 
     One kernel instance serves one batch execution; the constructor signature
-    is uniform so the engine needs no per-strategy wiring.
+    is uniform so the engines need no per-strategy wiring.
     """
     try:
         kernel_class = ADVERSARY_PLANE_KERNELS[behaviour]
@@ -60,12 +74,21 @@ def build_adversary_kernel(
 
 __all__ = [
     "ADVERSARY_PLANE_KERNELS",
+    "ADVERSARY_PROFILES",
+    "AdaptiveCrashKernel",
     "AdversaryKernel",
+    "AdversaryProfile",
     "CommitteeTargetingKernel",
     "EquivocatePlaneKernel",
     "KernelContext",
+    "PassiveKernel",
+    "RandomNoiseKernel",
     "Round1Effect",
     "Round2Effect",
+    "SilentKernel",
     "StaticEquivocateKernel",
+    "StraddleKernel",
     "build_adversary_kernel",
+    "derive_behaviours",
+    "inapplicable_adversaries",
 ]

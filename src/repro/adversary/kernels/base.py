@@ -1,18 +1,12 @@
 """The batched adversary-kernel protocol.
 
-The committee engine's original fast paths assumed either that every honest
-node sees the *same* announcement multiset per round (the aggregate-counter
-behaviours: ``none``/``straddle``/``silent``/``crash``) or that the
-per-recipient differences are pure i.i.d. noise (``random-noise``).  The
-remaining adversary strategies — the static equivocator, the adaptive
-vote-splitting equivocator and the non-rushing committee-targeting attack —
-fit neither mould: they send *different, deliberately chosen* announcements to
-different recipients and corrupt adaptively against per-trial budgets.
-
-An :class:`AdversaryKernel` expresses such a strategy as operations on
-``(B, n)`` planes.  The engine
-(:meth:`repro.simulator.vectorized.VectorizedAgreementSimulator.run_batch`)
-drives one kernel instance through four hooks per batch:
+Every adversary strategy the plane engines simulate is an
+:class:`AdversaryKernel`: operations on ``(B, n)`` planes, from the trivial
+passive/silent behaviours through the sampled random-noise babble to the
+adaptive share attacks and per-recipient equivocators.  The shared
+:class:`repro.simulator.phase_engine.PhaseEngine` (serving the committee-BA
+family, Chor–Coan, Rabin and Ben-Or) and the hook-consuming baseline kernels
+(phase-king foremost) drive one kernel instance through four hooks per batch:
 
 ``setup``
     Before round 1 of phase 1: spend any up-front corruptions (static
@@ -43,17 +37,20 @@ planes — so the engine's threshold logic is written once, in plane form, and
 never needs to know which strategy it is executing.  Kernels must account
 their own adversary message traffic by adding to ``ctx.messages``.
 
-Every kernel draws nothing from the per-trial Philox generators: the three
-strategies modelled so far are deterministic given the honest randomness
-(targets are picked lowest-id-first, exactly like
+Only the ``random-noise`` kernel draws from the per-trial Philox generators
+(``ctx.rngs``, in a fixed order the engines preserve); every other strategy
+is deterministic given the honest randomness (targets are picked
+lowest-id-first, exactly like
 :meth:`repro.adversary.adaptive.AdaptiveAdversary.pick_targets`), so the
-honest trial streams stay bit-compatible with the engine's other paths.
+honest trial streams stay bit-compatible across engines and batch
+compositions.
 """
 
 from __future__ import annotations
 
 from abc import ABC
 from dataclasses import dataclass, field
+from typing import ClassVar, Sequence
 
 import numpy as np
 
@@ -88,6 +85,19 @@ class KernelContext:
             adversary traffic here).
         running: ``(B,)`` trials still executing; hooks must not touch
             finished rows.
+        rngs: The per-trial Philox generators (compacted alongside the
+            planes), for sampling strategies; ``None`` before the engine
+            attaches them.
+        shares: ``(B, committee_stop - committee_start)`` int8 plane of the
+            freshly drawn committee coin shares (columns aligned to the
+            committee slice; zero where the member is inactive), available to
+            rushing kernels during the :meth:`AdversaryKernel.round2` hook
+            only; ``None`` elsewhere, and all-zero when the engine skipped
+            the lazy draw because no trial can reach the coin case.
+        coin: The engine's coin source — ``"committee"`` (shares decide the
+            coin), ``"dealer"`` or ``"private"`` (shares are broadcast but
+            ignored by the coin); kernels use it to skip share effects that
+            cannot influence the run.
     """
 
     n: int
@@ -104,6 +114,12 @@ class KernelContext:
     budget: np.ndarray
     messages: np.ndarray
     running: np.ndarray
+    rngs: Sequence[np.random.Generator] | None = None
+    shares: np.ndarray | None = None
+    coin: str = "committee"
+    #: Set by :meth:`corrupt`; the engine clears it after re-tallying, so
+    #: hooks that corrupt nobody cost no redundant plane reductions.
+    mutated: bool = False
 
     @property
     def committee_mask(self) -> np.ndarray:
@@ -112,16 +128,32 @@ class KernelContext:
         mask[self.committee_start : self.committee_stop] = True
         return mask
 
-    def corrupt(self, new_corrupt: np.ndarray) -> None:
-        """Corrupt the ``(B, n)`` mask of nodes, with budget bookkeeping.
+    def corrupt(
+        self,
+        new_corrupt: np.ndarray,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+        count: np.ndarray | None = None,
+    ) -> None:
+        """Corrupt a mask of nodes, with budget bookkeeping.
 
         ``new_corrupt`` must select currently-honest nodes only and respect
         each row's remaining budget (kernels enforce this by construction:
-        targets are drawn from ``active`` and capped at ``budget``).
+        targets are drawn from ``active`` and capped at ``budget``).  Kernels
+        corrupting inside the committee slice pass ``start``/``stop`` and a
+        column-sliced mask — the id-slice committees make that the common
+        case, and slice-local writes cost a fraction of full-plane passes.
+        ``count`` short-circuits the per-row popcount when the caller already
+        knows how many nodes each row corrupts.
         """
-        self.corrupted |= new_corrupt
-        self.active &= ~new_corrupt
-        self.budget -= np.count_nonzero(new_corrupt, axis=1)
+        columns = slice(start, stop)
+        self.corrupted[:, columns] |= new_corrupt
+        self.active[:, columns] &= ~new_corrupt
+        if count is None:
+            count = np.count_nonzero(new_corrupt, axis=1)
+        self.budget -= count
+        self.mutated = True
 
 
 @dataclass
@@ -159,6 +191,45 @@ class AdversaryKernel(ABC):
     #: Mirrors :attr:`repro.adversary.base.Adversary.rushing`; non-rushing
     #: kernels corrupt in :meth:`pre_coin` and never read fresh shares.
     rushing: bool = field(default=True, init=False)
+
+    #: The behaviour name this kernel serves in the plane-kernel registry.
+    behaviour: ClassVar[str] = "none"
+
+    #: True when the kernel reads the fresh committee share plane
+    #: (``ctx.shares``) in :meth:`round2`; the engine then guarantees the
+    #: plane is drawn before the hook runs (lazily, for non-committee coins,
+    #: only in phases where some trial can actually reach the coin case).
+    needs_shares: ClassVar[bool] = False
+
+    @classmethod
+    def initial_corrupted_columns(cls, n: int, t: int) -> np.ndarray:
+        """``(n,)`` mask of the nodes the strategy corrupts up front.
+
+        Consumed by the closed-form kernels (EIG, sampling-majority) that
+        model mute-at-start behaviours without driving the per-phase hooks;
+        must match what :meth:`setup` does on the plane engines.
+        """
+        return np.zeros(n, dtype=bool)
+
+    @classmethod
+    def crafted_traffic(cls, corrupted: int, honest: int, round_in_phase: int) -> int:
+        """Messages the corrupted nodes send per round to honest recipients.
+
+        The closed-form kernels use this to account delivered-but-ignored
+        adversary traffic (the object scheduler counts those messages even
+        when the protocol discards the payloads).  Default: a mute strategy.
+        """
+        return 0
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop finished trial rows from any per-row kernel state.
+
+        The engine compacts its planes when enough trials terminate and calls
+        this hook with the kept row indices (in old-row order).  All current
+        kernels are stateless across phases (their state lives entirely in
+        the context planes), so the default is a no-op; kernels holding
+        ``(B, ...)`` arrays must re-index them here.
+        """
 
     def setup(self, ctx: KernelContext) -> None:
         """Spend up-front corruptions before round 1 of phase 1."""

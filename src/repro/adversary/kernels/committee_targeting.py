@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -43,6 +44,8 @@ __all__ = ["CommitteeTargetingKernel"]
 @dataclass
 class CommitteeTargetingKernel(AdversaryKernel):
     """Pre-corrupt each phase's committee (non-rushing) and split its shares."""
+
+    behaviour: ClassVar[str] = "committee-targeting"
 
     #: Fresh corruptions per committee; ``None`` resolves to
     #: ``ceil(sqrt(committee_size))`` like the object strategy's bind-time
@@ -62,9 +65,7 @@ class CommitteeTargetingKernel(AdversaryKernel):
         spend = np.where(ctx.running, np.maximum(spend, 0), 0)
         if not spend.any():
             return
-        new_corrupt = np.zeros_like(ctx.corrupted)
-        new_corrupt[:, start:stop] = first_k_true(candidates, spend)
-        ctx.corrupt(new_corrupt)
+        ctx.corrupt(first_k_true(candidates, spend), start=start, stop=stop, count=spend)
 
     def round2(
         self,

@@ -25,6 +25,7 @@ statistically, like every committee fast path.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -43,9 +44,15 @@ __all__ = ["EquivocatePlaneKernel"]
 class EquivocatePlaneKernel(AdversaryKernel):
     """Recruit one mouthpiece per phase; split opinion without touching coins."""
 
+    behaviour: ClassVar[str] = "equivocate"
+
     #: Upper bound on fresh corruptions per phase (mirrors the object
     #: strategy's ``corrupt_per_phase`` default).
     corrupt_per_phase: int = 1
+
+    @classmethod
+    def crafted_traffic(cls, corrupted: int, honest: int, round_in_phase: int) -> int:
+        return corrupted * honest
 
     def _column(self, counts: np.ndarray, send: np.ndarray) -> np.ndarray:
         """A ``(B, 1)`` additive column: ``counts`` where ``send``, else 0."""

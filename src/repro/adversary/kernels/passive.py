@@ -1,0 +1,46 @@
+"""The trivial plane kernels: failure-free and crash-at-start.
+
+``PassiveKernel`` models the null adversary (and serves every *inapplicable*
+``(protocol, adversary)`` pair — see
+:mod:`repro.adversary.kernels.capabilities` — where the object strategy
+provably performs no corruption and sends nothing).  ``SilentKernel`` models
+:class:`repro.adversary.strategies.silence.SilentAdversary` with its default
+target choice: the first ``min(t, n)`` ids are corrupted before round 1 and
+never speak again, consuming the whole budget up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adversary.kernels.base import AdversaryKernel, KernelContext
+
+__all__ = ["PassiveKernel", "SilentKernel"]
+
+
+@dataclass
+class PassiveKernel(AdversaryKernel):
+    """No corruption, no traffic — the failure-free behaviour."""
+
+    behaviour: ClassVar[str] = "none"
+
+
+@dataclass
+class SilentKernel(AdversaryKernel):
+    """Corrupt the first ``min(t, n)`` ids at round 0; never speak again."""
+
+    behaviour: ClassVar[str] = "silent"
+
+    @classmethod
+    def initial_corrupted_columns(cls, n: int, t: int) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        mask[: min(t, n)] = True
+        return mask
+
+    def setup(self, ctx: KernelContext) -> None:
+        batch = ctx.corrupted.shape[0]
+        new_corrupt = np.tile(self.initial_corrupted_columns(self.n, self.t), (batch, 1))
+        ctx.corrupt(new_corrupt & ~ctx.corrupted)

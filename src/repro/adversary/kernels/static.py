@@ -17,6 +17,7 @@ contiguous id ranges and so is the corrupted block).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -33,6 +34,18 @@ __all__ = ["StaticEquivocateKernel"]
 @dataclass
 class StaticEquivocateKernel(AdversaryKernel):
     """Corrupt the top ``t`` ids up front; split every announcement in half."""
+
+    behaviour: ClassVar[str] = "static"
+
+    @classmethod
+    def initial_corrupted_columns(cls, n: int, t: int) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        mask[max(0, n - t):] = True
+        return mask
+
+    @classmethod
+    def crafted_traffic(cls, corrupted: int, honest: int, round_in_phase: int) -> int:
+        return corrupted * honest
 
     #: ``(n,)`` masks of the lower / upper halves of the honest id range,
     #: built in :meth:`setup` and constant thereafter.

@@ -1,0 +1,108 @@
+"""Batched plane kernel for the rushing coin-straddling attack.
+
+Models :class:`repro.adversary.strategies.coin_attack.CoinAttackAdversary`,
+preserving bit-for-bit the arithmetic of the committee engine's original
+built-in ``straddle`` loop: in the coin round the kernel (rushing) reads the
+committee's fresh shares from ``ctx.shares``, computes the honest sum ``S``
+and — for trials that fell through to the coin case — corrupts just enough
+same-sign committee members (``ceil((|S| - controlled [+1 if S >= 0]) / 2)``,
+lowest ids first) that the controlled shares can push half the recipients'
+totals to ``>= 0`` and the other half below, splitting the coin.
+
+The split is returned as an additive share-adjustment plane: with the engine
+computing each recipient's coin as ``sign(S + adjustment)``, an adjustment of
+``-S`` for the upper recipient half and ``-S - 1`` for the lower half yields
+coin 1 above and coin 0 below — exactly the ``value[upper] = 1 / value[lower]
+= 0`` assignment of the retired ``_run_batch_uniform`` loop.  Against a
+dealer or private coin the adjustment plane is ignored by the engine, which
+reproduces the attack's futility (corruptions still spent, coin unmoved) the
+dealer-coin skeleton modelled before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.adversary.kernels.base import (
+    AdversaryKernel,
+    KernelContext,
+    Round2Effect,
+)
+from repro.simulator.bitplanes import first_k_true, lower_half_split, row_popcount
+
+__all__ = ["StraddleKernel"]
+
+
+@dataclass
+class StraddleKernel(AdversaryKernel):
+    """Corrupt same-sign committee members mid-coin-round; split the coin."""
+
+    behaviour: ClassVar[str] = "straddle"
+    needs_shares: ClassVar[bool] = True
+
+    def round2(
+        self,
+        ctx: KernelContext,
+        decided_one: np.ndarray,
+        decided_zero: np.ndarray,
+        share_sum: np.ndarray,
+    ) -> Round2Effect:
+        n, t = self.n, self.t
+        quorum = n - t
+        # The attack only fires for trials in the coin case; the straddle adds
+        # no decided records, so the honest tallies decide the case exactly.
+        assigned = (
+            (decided_one >= quorum)
+            | (decided_zero >= quorum)
+            | (decided_one >= t + 1)
+            | (decided_zero >= t + 1)
+        )
+        case3 = ctx.running & ~assigned
+        if not case3.any():
+            return Round2Effect()
+        assert ctx.shares is not None
+        start, stop = ctx.committee_start, ctx.committee_stop
+        controlled = np.count_nonzero(ctx.corrupted[:, start:stop], axis=1)
+        sign = np.where(share_sum >= 0, 1, -1).astype(np.int8)
+        # Fresh same-sign corruptions needed for a Byzantine straddle:
+        # ceil((|S| - controlled [+ 1 if S >= 0]) / 2).
+        raw = np.where(
+            share_sum >= 0,
+            share_sum - controlled + 1,
+            -share_sum - controlled,
+        )
+        needed = np.maximum(0, -((-raw) // 2))
+        committee_active = ctx.active[:, start:stop]
+        same_sign = committee_active & (ctx.shares == sign[:, None])
+        available = np.count_nonzero(same_sign, axis=1)
+        spoiled = (
+            case3 & (ctx.budget > 0) & (needed <= ctx.budget) & (needed <= available)
+        )
+        if not spoiled.any():
+            return Round2Effect()
+        fresh = np.where(spoiled, needed, 0)
+        ctx.corrupt(first_k_true(same_sign, fresh), start=start, stop=stop, count=fresh)
+        # Adversary round-2 traffic: controlled members to all honest.
+        ctx.messages += np.where(
+            spoiled, (controlled + needed) * row_popcount(ctx.active), 0
+        )
+        # Share adjustment forcing the half split among the live recipients:
+        # -S on the upper half (coin 1), -S - 1 on the lower half (coin 0).
+        # Columns outside the live-recipient mask never reach the engine's
+        # coin blend, so they need no masking of their own.
+        rows = np.flatnonzero(spoiled)
+        if rows.size == len(spoiled):
+            # Every trial spoiled: operate on the full planes, no gathers.
+            lower, _ = lower_half_split(ctx.active & ctx.can_update)
+            sums = share_sum.astype(np.int32)[:, None]
+            return Round2Effect(shares=np.where(lower, -sums - 1, -sums))
+        # Work on the spoiled subset only (the "first half of the recipients"
+        # split runs on packed bytes + a prefix-bit LUT either way).
+        lower, _ = lower_half_split(ctx.active[rows] & ctx.can_update[rows])
+        sums = share_sum[rows].astype(np.int32)[:, None]
+        adjustment = np.zeros(ctx.active.shape, dtype=np.int32)
+        adjustment[rows] = np.where(lower, -sums - 1, -sums)
+        return Round2Effect(shares=adjustment)

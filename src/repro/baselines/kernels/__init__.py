@@ -4,36 +4,41 @@ PR 1 gave the paper's committee-BA family a batched multi-trial engine
 (:mod:`repro.simulator.vectorized`); this package extends the same treatment
 to the rest of the baseline landscape so the E9 comparison can run at
 thousand-node scale.  Each kernel executes a whole sweep of trials on
-``(B, n)`` boolean planes and reports the committee engine's result shapes,
-and each one is cross-validated against the object simulator — bit-identical
-where the per-trial randomness allows (Rabin's public dealer stream, the
-deterministic phase-king and EIG protocols), statistically otherwise (Ben-Or
-and sampling-majority consume per-node streams the kernels cannot replay).
+``(B, n)`` boolean planes and reports the committee engine's result shapes;
+the Rabin and Ben-Or kernels run on the shared hook-driven
+:class:`repro.simulator.phase_engine.PhaseEngine`, and every kernel consumes
+the same :mod:`repro.adversary.kernels` plane kernels the committee engine
+uses instead of a private behaviour switch.
 
 :data:`BASELINE_KERNELS` is the capability registry :mod:`repro.engine`
-merges with the committee engine's entries: it records, per protocol, the
-kernel entry point, which object-simulator adversaries have a modelled fault
-behaviour, and which optional knobs (``max_rounds``, protocol kwargs) the
-kernel honours.  ``run_sweep``/``select_engine`` consult the merged table to
-dispatch per ``(protocol, adversary)`` pair.
+merges with the committee engine's entries.  Which object-simulator
+adversaries each kernel serves is **derived** from the kernel's declared hook
+surface and the adversary kernels' capability profiles
+(:mod:`repro.adversary.kernels.capabilities`), not hand-listed: a strategy
+whose requirements fit the hooks is supported (fast path), a strategy with no
+lever on the protocol is *inapplicable* (dispatched to the exact
+failure-free behaviour, mirroring its provably no-op object implementation),
+and anything else stays on the object path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.baselines.kernels.ben_or import BEN_OR_BEHAVIOURS, run_ben_or_trials
+from repro.adversary.kernels.capabilities import (
+    derive_behaviours,
+    inapplicable_adversaries,
+)
+from repro.baselines.kernels.ben_or import run_ben_or_trials
 from repro.baselines.kernels.coin import CoinTrialsResult, run_coin_trials
 from repro.baselines.kernels.common import VectorizedAggregate
-from repro.baselines.kernels.eig import EIG_BEHAVIOURS, run_eig_trials
-from repro.baselines.kernels.phase_king import (
-    PHASE_KING_BEHAVIOURS,
-    run_phase_king_trials,
-)
-from repro.baselines.kernels.rabin import RABIN_BEHAVIOURS, run_rabin_trials
+from repro.baselines.kernels.eig import EIG_HOOKS, run_eig_trials
+from repro.baselines.kernels.phase_king import PHASE_KING_HOOKS, run_phase_king_trials
+from repro.baselines.kernels.phase_skeleton import SKELETON_HOOKS
+from repro.baselines.kernels.rabin import run_rabin_trials
 from repro.baselines.kernels.sampling_majority import (
-    SAMPLING_BEHAVIOURS,
+    SAMPLING_HOOKS,
     run_sampling_majority_trials,
 )
 
@@ -52,8 +57,15 @@ class KernelSpec:
             uses the Philox key ``(seed, trial_offset + k)``, so contiguous
             sub-batches concatenate bit-identically to one full batch (the
             sharded ``vectorized-mp`` executor's contract).
-        behaviours: Object-simulator adversary name -> kernel fault behaviour.
-            Only pairs listed here take the vectorised fast path.
+        hooks: The adversary hook surface the kernel implements (the
+            :mod:`repro.adversary.kernels.capabilities` vocabulary), from
+            which ``behaviours`` and ``inapplicable`` are derived.
+        behaviours: Object-simulator adversary name -> kernel fault
+            behaviour.  Only pairs listed here take the vectorised fast path;
+            inapplicable strategies map to the exact ``"none"`` behaviour.
+        inapplicable: Canonical names of the strategies with *no lever* on
+            this protocol (their object implementations provably no-op);
+            listed explicitly in the engine tables.
         exact: Adversary names whose kernel runs are bit-identical to the
             object simulator (everything else is statistically validated).
         supports_params: Kernel accepts a committee-geometry override
@@ -66,62 +78,88 @@ class KernelSpec:
 
     name: str
     run_trials: Callable[..., VectorizedAggregate]
-    behaviours: Mapping[str, str]
+    hooks: frozenset[str]
+    behaviours: Mapping[str, str] = field(init=False)
+    inapplicable: frozenset[str] = field(init=False)
     exact: frozenset[str] = frozenset()
     supports_params: bool = False
     supports_max_rounds: bool = False
     protocol_kwargs: frozenset[str] = frozenset()
 
-
-def _mapping(names: tuple[str, ...]) -> dict[str, str]:
-    """Object adversary name -> behaviour, with identity aliases.
-
-    ``null`` maps to the failure-free ``none`` behaviour; the kernel-side
-    behaviour names themselves are accepted as aliases so callers migrating
-    from direct kernel calls need not rename.
-    """
-    table = {behaviour: behaviour for behaviour in names}
-    if "none" in names:
-        table["null"] = "none"
-    if "straddle" in names:
-        table["coin-attack"] = "straddle"
-    return table
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "behaviours", derive_behaviours(self.hooks))
+        object.__setattr__(
+            self, "inapplicable", inapplicable_adversaries(self.hooks)
+        )
 
 
 #: protocol name -> baseline kernel capability record.  The committee-family
 #: protocols are registered by :mod:`repro.engine` itself (their kernel is
-#: the committee engine).
+#: the committee engine).  ``exact`` marks the pairs the cross-validation
+#: suite holds to bit-identity (deterministic protocols and the replayed
+#: dealer stream — including the inapplicable no-op pairs, which are
+#: bit-identical wherever the failure-free pair is).
 BASELINE_KERNELS: dict[str, KernelSpec] = {
     "rabin": KernelSpec(
         name="dealer-coin",
         run_trials=run_rabin_trials,
-        behaviours=_mapping(RABIN_BEHAVIOURS),
-        exact=frozenset({"null", "none", "silent"}),
+        hooks=SKELETON_HOOKS,
+        # The dealer stream is replayed exactly and these fault models are
+        # deterministic, so they match the object simulator bit for bit; the
+        # rushing share attacks depend on the honest share draws and stay
+        # statistical.
+        exact=frozenset(
+            {"null", "none", "silent", "static", "equivocate", "committee-targeting"}
+        ),
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "ben-or": KernelSpec(
         name="private-coin",
         run_trials=run_ben_or_trials,
-        behaviours=_mapping(BEN_OR_BEHAVIOURS),
+        hooks=SKELETON_HOOKS,
         supports_max_rounds=True,
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "phase-king": KernelSpec(
         name="phase-king",
         run_trials=run_phase_king_trials,
-        behaviours=_mapping(PHASE_KING_BEHAVIOURS),
-        exact=frozenset({"null", "none", "silent", "static"}),
+        hooks=PHASE_KING_HOOKS,
+        exact=frozenset(
+            {
+                "null",
+                "none",
+                "silent",
+                "static",
+                "equivocate",
+                "committee-targeting",
+                "coin-attack",
+                "straddle",
+                "crash",
+            }
+        ),
     ),
     "eig": KernelSpec(
         name="eig-tree",
         run_trials=run_eig_trials,
-        behaviours=_mapping(EIG_BEHAVIOURS),
-        exact=frozenset({"null", "none", "silent", "static"}),
+        hooks=EIG_HOOKS,
+        exact=frozenset(
+            {
+                "null",
+                "none",
+                "silent",
+                "static",
+                "random-noise",
+                "coin-attack",
+                "straddle",
+                "crash",
+                "committee-targeting",
+            }
+        ),
     ),
     "sampling-majority": KernelSpec(
         name="sampling-majority",
         run_trials=run_sampling_majority_trials,
-        behaviours=_mapping(SAMPLING_BEHAVIOURS),
+        hooks=SAMPLING_HOOKS,
         protocol_kwargs=frozenset({"iterations_factor", "sample_size"}),
     ),
 }

@@ -27,9 +27,6 @@ from repro.baselines.kernels.phase_skeleton import run_phase_skeleton_batch
 from repro.baselines.rabin import rabin_parameters
 from repro.core.parameters import validate_n_t
 
-#: Fault behaviours this kernel models.
-BEN_OR_BEHAVIOURS = ("none", "silent")
-
 
 def run_ben_or_trials(
     n: int,
@@ -63,7 +60,7 @@ def run_ben_or_trials(
         rngs,
         behaviour=adversary,
         coin="private",
-        num_phases=params.num_phases,
+        params=params,
         las_vegas=True,
         max_phases=max(1, cap_rounds // 2),
     )

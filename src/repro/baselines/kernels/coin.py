@@ -73,6 +73,7 @@ def run_coin_trials(
     *,
     trials: int = 100,
     seed: int = 0,
+    trial_offset: int = 0,
 ) -> CoinTrialsResult:
     """Batched Monte-Carlo estimate of the coin under the straddle attack.
 
@@ -83,6 +84,12 @@ def run_coin_trials(
             theorem's regime).
         trials: Number of independent executions, drawn as one ``(trials, n)``
             sign plane from a Philox stream keyed by ``seed``.
+        trial_offset: Global counter of the first trial.  Trial ``k`` of the
+            call is row ``trial_offset + k`` of the seed's flip plane (the
+            worker redraws and discards the prefix, which keeps the default
+            stream unchanged), so contiguous sub-batches concatenate
+            bit-identically to one full batch — the same sharding contract as
+            the protocol kernels' ``trial_offset``.
     """
     if n < 1:
         raise ConfigurationError(f"the coin needs at least one flipper, got n={n}")
@@ -90,9 +97,12 @@ def run_coin_trials(
         raise ConfigurationError(f"budget must be non-negative, got {budget}")
     if trials < 1:
         raise ConfigurationError(f"trials must be positive, got {trials}")
+    if trial_offset < 0:
+        raise ConfigurationError(f"trial_offset must be non-negative, got {trial_offset}")
     key = np.array([(seed ^ (_COIN_DOMAIN << 56)) & _MASK64, 0], dtype=np.uint64)
     rng = np.random.Generator(np.random.Philox(key=key))
-    flips = rng.integers(0, 2, size=(trials, n), dtype=np.int64) * 2 - 1
+    flips = rng.integers(0, 2, size=(trial_offset + trials, n), dtype=np.int64) * 2 - 1
+    flips = flips[trial_offset:]
     sums = flips.sum(axis=1)
 
     # CoinAttackAdversary.corruptions_needed with nothing controlled yet.

@@ -15,8 +15,8 @@ committee engine (:mod:`repro.simulator.vectorized`):
   :func:`repro.engine.run_sweep` folds into :class:`TrialSummary` lists.
 
 This module collects the pieces the kernels share: the per-trial input/RNG
-setup, corrupted-set construction for the uniform fault behaviours, and the
-batched agreement/validity finaliser.
+setup, the live CONGEST payload-size table, and the batched
+agreement/validity finaliser.
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.parameters import validate_n_t
 from repro.exceptions import ConfigurationError
 from repro.simulator.bitplanes import row_popcount
+from repro.simulator.phase_engine import finalize_planes as evaluate_planes
 from repro.simulator.messages import (
     CoinShare,
     CombinedAnnouncement,
@@ -50,7 +51,6 @@ __all__ = [
     "VectorizedRunResult",
     "aggregate_results",
     "batch_setup",
-    "corrupted_columns",
     "finalize_planes",
     "row_popcount",
     "trial_generator",
@@ -93,28 +93,6 @@ def batch_setup(
     return rows, rngs
 
 
-def corrupted_columns(n: int, t: int, behaviour: str) -> np.ndarray:
-    """Initially-corrupted node mask for the uniform fault behaviours.
-
-    ``"none"`` corrupts nobody; ``"silent"`` mirrors
-    :class:`~repro.adversary.strategies.silence.SilentAdversary` (the first
-    ``min(t, n)`` ids); ``"static"`` mirrors
-    :class:`~repro.adversary.static.StaticAdversary`'s default target choice
-    (the ``t`` highest ids).  ``"straddle"`` starts with nobody corrupted —
-    the attack corrupts adaptively, inside the kernel loop.
-    """
-    mask = np.zeros(n, dtype=bool)
-    if behaviour in ("none", "straddle"):
-        return mask
-    if behaviour == "silent":
-        mask[: min(t, n)] = True
-        return mask
-    if behaviour == "static":
-        mask[max(0, n - t) :] = True
-        return mask
-    raise ConfigurationError(f"unknown kernel fault behaviour {behaviour!r}")
-
-
 def finalize_planes(
     n: int,
     t: int,
@@ -138,28 +116,16 @@ def finalize_planes(
     or sampling traffic).
     """
     validate_n_t(n, t)
-    batch = inputs.shape[0]
-    honest = ~corrupted
-    honest_count = row_popcount(honest)
-    has_honest = honest_count > 0
-    out_ones = row_popcount(output & honest)
-    agreement = (out_ones == 0) | (out_ones == honest_count)
-    in_ones = row_popcount(inputs.astype(bool) & honest)
-    unanimous_1 = has_honest & (in_ones == honest_count)
-    unanimous_0 = has_honest & (in_ones == 0)
-    validity = np.ones(batch, dtype=bool)
-    validity[unanimous_1] = out_ones[unanimous_1] == honest_count[unanimous_1]
-    validity[unanimous_0] = out_ones[unanimous_0] == 0
-    corrupted_count = row_popcount(corrupted)
-    if timed_out is None:
-        timed_out = np.zeros(batch, dtype=bool)
-
+    evaluated = evaluate_planes(
+        n, t, inputs, output=output, corrupted=corrupted,
+        messages=messages, timed_out=timed_out,
+    )
     results = []
-    for b in range(batch):
-        agrees = bool(agreement[b])
+    for b in range(inputs.shape[0]):
+        agrees = bool(evaluated["agreement"][b])
         decision: int | None = None
-        if agrees and has_honest[b]:
-            decision = 1 if out_ones[b] else 0
+        if agrees and evaluated["has_honest"][b]:
+            decision = 1 if evaluated["out_ones"][b] else 0
         results.append(
             VectorizedRunResult(
                 n=n,
@@ -167,12 +133,12 @@ def finalize_planes(
                 rounds=int(rounds[b]),
                 phases=int(phases[b]),
                 agreement=agrees,
-                validity=bool(validity[b]),
+                validity=bool(evaluated["validity"][b]),
                 decision=decision,
-                corrupted=int(corrupted_count[b]),
+                corrupted=int(evaluated["corrupted_count"][b]),
                 messages=int(messages[b]),
                 bits=int(bits[b]),
-                timed_out=bool(timed_out[b]),
+                timed_out=bool(evaluated["timed_out"][b]),
             )
         )
     return results

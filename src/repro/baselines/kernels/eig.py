@@ -12,11 +12,20 @@ that is what lets a whole batch of trials run in microseconds while remaining
 exactly faithful to :class:`repro.baselines.eig.EIGNode`:
 
 * ``none`` / ``silent`` — corrupted nodes send nothing;
-* ``static`` — :class:`repro.adversary.static.StaticAdversary`'s equivocating
-  traffic consists of value-announcement payloads, which ``EIGNode.deliver``
-  ignores (it only reads ``EIGReport``), so the corrupted nodes contribute
-  exactly as much to the tree as silent ones — nothing.  Only the message and
-  bit accounting differs (the crafted traffic is still delivered).
+* ``static`` / ``random-noise`` — the crafted equivocation / babble traffic
+  consists of value-announcement payloads, which ``EIGNode.deliver`` ignores
+  (it only reads ``EIGReport``), so the corrupted nodes contribute exactly as
+  much to the tree as silent ones — nothing.  Only the target sets (top-``t``
+  vs first-``t``) and the message/bit accounting differ (the crafted traffic
+  is still delivered), both of which the kernel reads off the behaviour's
+  :class:`~repro.adversary.kernels.base.AdversaryKernel` class.
+
+The kernel declares the narrowest hook surface in the registry
+(:data:`EIG_HOOKS`: up-front corruption only): the closed recurrence assumes
+a fixed honest set, so the adaptively-recruiting equivocator stays on the
+object path, while the share attacks and committee targeting — which have no
+lever at all against EIG (no shares, no distinguished node; their object
+strategies provably no-op) — dispatch to the exact failure-free behaviour.
 
 Message sizes follow :class:`repro.baselines.eig.EIGReport`: a round-``r``
 report carries the ``P(n_h - 1, r - 1)`` all-honest paths avoiding the
@@ -29,21 +38,23 @@ import math
 
 import numpy as np
 
+from repro.adversary.kernels import ADVERSARY_PLANE_KERNELS
+from repro.adversary.kernels.capabilities import CORRUPT_STATIC
 from repro.baselines.eig import EIGNode
 from repro.baselines.kernels.common import (
     PAYLOAD_BITS,
     VectorizedAggregate,
     aggregate,
     batch_setup,
-    corrupted_columns,
     finalize_planes,
     row_popcount,
 )
 from repro.core.parameters import validate_n_t
 from repro.exceptions import ConfigurationError
 
-#: Fault behaviours this kernel models.
-EIG_BEHAVIOURS = ("none", "silent", "static")
+#: Adversary hook surface this kernel implements: up-front corruption only
+#: (the closed tree recurrence assumes a fixed honest set).
+EIG_HOOKS = frozenset({CORRUPT_STATIC})
 
 #: CONGEST payload sizes (bits), derived from repro.simulator.messages.
 _VALUE_ANNOUNCEMENT_BITS = PAYLOAD_BITS["ValueAnnouncement"]
@@ -79,9 +90,11 @@ def run_eig_trials(
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of EIG (``t < n/3``, ``t + 1`` rounds)."""
     validate_n_t(n, t)
-    if adversary not in EIG_BEHAVIOURS:
+    kernel_class = ADVERSARY_PLANE_KERNELS.get(adversary)
+    if kernel_class is None:
         raise ConfigurationError(
-            f"EIG kernel behaviour must be one of {EIG_BEHAVIOURS}, got {adversary!r}"
+            f"unknown EIG kernel behaviour {adversary!r}; "
+            f"available: {sorted(ADVERSARY_PLANE_KERNELS)}"
         )
     estimated = sum(n**level for level in range(1, t + 2))
     if estimated > EIGNode.MAX_TREE_ENTRIES:
@@ -93,7 +106,7 @@ def run_eig_trials(
     batch = input_rows.shape[0]
     num_rounds = t + 1
 
-    corrupted_cols = corrupted_columns(n, t, adversary)
+    corrupted_cols = kernel_class.initial_corrupted_columns(n, t)
     honest_cols = ~corrupted_cols
     n_honest = int(honest_cols.sum())
     n_corrupt = n - n_honest
@@ -107,20 +120,21 @@ def run_eig_trials(
     votes = resolved * (honest_input_sum[:, None] - inputs_bool.astype(np.int64)) + inputs_bool
     output = (2 * votes > n) & honest_cols[None, :]
 
-    # Message/bit accounting: honest reports plus (for static) the delivered-
-    # but-ignored equivocation traffic.
-    adversary_per_round = n_corrupt * n_honest if adversary == "static" else 0
+    # Message/bit accounting: honest reports plus the delivered-but-ignored
+    # crafted traffic (equivocation / babble) of the behaviour.
     total_messages = 0
     total_bits = 0
     for round_number in range(1, num_rounds + 1):
         entries = math.perm(n_honest - 1, round_number - 1)
         report_bits = 32 + entries * (32 * (round_number - 1) + 1)
-        total_messages += n_honest * (n - 1) + adversary_per_round
+        round_in_phase = 1 if round_number % 2 == 1 else 2
+        crafted = kernel_class.crafted_traffic(n_corrupt, n_honest, round_in_phase)
+        total_messages += n_honest * (n - 1) + crafted
         total_bits += n_honest * (n - 1) * report_bits
-        crafted = (
-            _VALUE_ANNOUNCEMENT_BITS if round_number % 2 == 1 else _COMBINED_ANNOUNCEMENT_BITS
+        crafted_bits = (
+            _VALUE_ANNOUNCEMENT_BITS if round_in_phase == 1 else _COMBINED_ANNOUNCEMENT_BITS
         )
-        total_bits += adversary_per_round * crafted
+        total_bits += crafted * crafted_bits
 
     corrupted = np.tile(corrupted_cols, (batch, 1))
     results = finalize_planes(

@@ -1,46 +1,75 @@
-"""Batched kernel for the phase-king protocol.
+"""Batched hook-driven kernel for the phase-king protocol.
 
-Phase king is deterministic, which makes its kernel *exact*: given the same
-inputs and fault behaviour, every field of every trial matches the object
-simulator bit for bit.  The kernel exploits the protocol's aggregate
-structure — every honest recipient of a round-1 exchange sees the same honest
-multiset, and the equivocating static adversary splits the honest nodes into
-just two recipient groups (low/high half), so per-recipient state collapses
-to at most two scalars per trial:
+Phase king reuses two of the committee engine's adversary channels — the
+round-1 universal value exchange (``ValueAnnouncement``) and a per-phase
+distinguished node (the king, modelled as the degenerate committee
+``CommitteePartition(n, 1)``) — so its kernel drives the *same*
+:class:`~repro.adversary.kernels.base.AdversaryKernel` plane kernels as the
+committee engine instead of a private behaviour switch:
 
-* ``none`` / ``silent`` — one recipient group (corrupted nodes are mute);
-* ``static`` — two groups, mirroring
-  :class:`repro.adversary.static.StaticAdversary`: every corrupted node sends
-  value 0 to the low half of the honest ids and value 1 to the high half in
-  round 1 (its round-2 traffic is ignored by phase-king nodes, which only
-  read :class:`~repro.simulator.messages.KingValue` payloads from the king —
-  and the king ids ``0..t`` are never corrupted by the default static target
-  set for any legal ``n > 4t``).
+* ``setup`` spends up-front corruptions (silent / static / random-noise);
+* ``round1`` may corrupt adaptively (the equivocator's mouthpiece
+  recruitment) and returns additive per-recipient value planes that enter
+  the per-recipient majority tallies;
+* ``pre_coin`` runs at the top of the king round with the committee slice set
+  to the king — the non-rushing committee-targeting kernel degrades to
+  *king-targeting* here, corrupting the king before it speaks;
+* ``round2`` is consulted for its adversary traffic accounting only: phase
+  king has no round-2 records and no coin shares, so the returned planes are
+  provably unheard (exactly as the object nodes ignore those payloads), and
+  the rushing share attacks (``coin-attack``/``crash``) are *inapplicable* —
+  they dispatch to the exact failure-free behaviour, mirroring their no-op
+  object implementations.
+
+The protocol itself is deterministic, so every fault model that consumes no
+randomness (none/silent/static/king-targeting/equivocate) is *exact*: every
+field of every trial matches the object simulator bit for bit.  The
+``random-noise`` model samples each recipient's noisy round-1 view
+(``Binomial(f, 1/2)`` per recipient) from the trial generator and is
+validated statistically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.adversary.kernels import build_adversary_kernel
+from repro.adversary.kernels.base import KernelContext
+from repro.adversary.kernels.capabilities import (
+    COMMITTEE,
+    CORRUPT_ADAPTIVE,
+    CORRUPT_STATIC,
+    RNG,
+    ROUND1_VALUES,
+)
 from repro.baselines.kernels.common import (
     PAYLOAD_BITS,
     VectorizedAggregate,
     aggregate,
     batch_setup,
-    corrupted_columns,
     finalize_planes,
     row_popcount,
 )
-from repro.core.parameters import validate_n_t
+from repro.core.parameters import ProtocolParameters, Regime, validate_n_t
 from repro.exceptions import ConfigurationError
 
-#: Fault behaviours this kernel models.
-PHASE_KING_BEHAVIOURS = ("none", "silent", "static")
+#: Adversary hook surface this kernel implements (drives the supported- and
+#: inapplicable-behaviour derivation in the engine's capability registry).
+PHASE_KING_HOOKS = frozenset(
+    {CORRUPT_STATIC, CORRUPT_ADAPTIVE, ROUND1_VALUES, COMMITTEE, RNG}
+)
 
 #: CONGEST payload sizes (bits), derived from repro.simulator.messages.
 _VALUE_ANNOUNCEMENT_BITS = PAYLOAD_BITS["ValueAnnouncement"]
 _COMBINED_ANNOUNCEMENT_BITS = PAYLOAD_BITS["CombinedAnnouncement"]
 _KING_VALUE_BITS = PAYLOAD_BITS["KingValue"]
+
+
+def _king_parameters(n: int, t: int) -> ProtocolParameters:
+    """Bookkeeping parameters exposing the king schedule as committees of 1."""
+    return ProtocolParameters(
+        n=n, t=t, alpha=1.0, num_phases=t + 1, committee_size=1, regime=Regime.LINEAR
+    )
 
 
 def run_phase_king_trials(
@@ -59,78 +88,77 @@ def run_phase_king_trials(
         raise ConfigurationError(
             f"the implemented phase-king variant requires n > 4t; got n={n}, t={t}"
         )
-    if adversary not in PHASE_KING_BEHAVIOURS:
-        raise ConfigurationError(
-            f"phase-king kernel behaviour must be one of {PHASE_KING_BEHAVIOURS}, "
-            f"got {adversary!r}"
-        )
-    input_rows, _ = batch_setup(n, inputs, trials, seed, trial_offset)
+    input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
-
-    corrupted_cols = corrupted_columns(n, t, adversary)
-    honest_cols = ~corrupted_cols
-    honest_ids = np.flatnonzero(honest_cols)
-    n_honest = len(honest_ids)
-    n_corrupt = n - n_honest
-
-    # Recipient groups: the static adversary equivocates along the sorted
-    # honest-id split; the mute behaviours need only one group.
-    if adversary == "static":
-        half = n_honest // 2
-        groups = [
-            (honest_ids[:half], n_corrupt, 0),  # low half hears t zeros
-            (honest_ids[half:], 0, n_corrupt),  # high half hears t ones
-        ]
-    else:
-        groups = [(honest_ids, 0, 0)]
+    params = _king_parameters(n, t)
+    kernel = build_adversary_kernel(adversary, n=n, t=t, params=params)
+    num_phases = t + 1
+    strong_threshold = n // 2 + t
 
     value = input_rows.astype(bool).copy()
-    corrupted = np.tile(corrupted_cols, (batch, 1))
+    decided = np.zeros((batch, n), dtype=bool)
+    corrupted = np.zeros((batch, n), dtype=bool)
+    active = np.ones((batch, n), dtype=bool)
+    can_update = np.ones((batch, n), dtype=bool)
+    budget = np.full(batch, t, dtype=np.int64)
     messages = np.zeros(batch, dtype=np.int64)
     bits = np.zeros(batch, dtype=np.int64)
-    num_phases = t + 1
+    running = np.ones(batch, dtype=bool)
+    zero_counts = np.zeros(batch, dtype=np.int64)
 
-    adversary_per_round = n_corrupt * n_honest if adversary == "static" else 0
-    for phase in range(1, num_phases + 1):
-        # ---------------- Round 1: universal exchange ----------------
-        messages += n_honest * n + adversary_per_round
-        bits += (
-            n_honest * n * _VALUE_ANNOUNCEMENT_BITS
-            + adversary_per_round * _VALUE_ANNOUNCEMENT_BITS
+    def context(phase: int, king: int) -> KernelContext:
+        return KernelContext(
+            n=n, t=t, params=params, phase=phase,
+            committee_start=king, committee_stop=king + 1,
+            value=value, decided=decided, active=active,
+            corrupted=corrupted, can_update=can_update,
+            budget=budget, messages=messages, running=running,
+            rngs=rngs, coin="committee",
         )
-        honest_ones = row_popcount(value & ~corrupted)
-        majority_value = []
-        majority_count = []
-        for _, extra_zeros, extra_ones in groups:
-            ones = honest_ones + extra_ones
-            zeros = (n_honest - honest_ones) + extra_zeros
-            maj = ones >= zeros  # ties break to 1, as in the object node
-            majority_value.append(maj)
-            majority_count.append(np.where(maj, ones, zeros))
+
+    kernel.setup(context(0, 0))
+
+    for phase in range(1, num_phases + 1):
+        king = (phase - 1) % n
+        ctx = context(phase, king)
+
+        # ---------------- Round 1: universal exchange ----------------
+        ones_pre = row_popcount(value & active)
+        sender_count = row_popcount(active)
+        before = messages.copy()
+        effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
+        bits += (messages - before) * _VALUE_ANNOUNCEMENT_BITS
+        # A node corrupted mid-round has its honest broadcast discarded.
+        sender_count = row_popcount(active)
+        ones_honest = row_popcount(value & active)
+        messages += sender_count * n
+        bits += sender_count * n * _VALUE_ANNOUNCEMENT_BITS
+        ones = ones_honest[:, None] + np.asarray(effect1.ones)
+        zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+        majority = ones >= zeros  # ties break to 1, as in the object node
+        majority_count = np.maximum(ones, zeros)
 
         # ---------------- Round 2: the king speaks ----------------
-        king = (phase - 1) % n
-        king_honest = bool(honest_cols[king])
-        if king_honest:
-            messages += n
-            bits += n * _KING_VALUE_BITS
-            king_group = 0
-            for g, (ids, _, _) in enumerate(groups):
-                if king in ids:
-                    king_group = g
-            king_value = majority_value[king_group]
-        messages += adversary_per_round
-        bits += adversary_per_round * _COMBINED_ANNOUNCEMENT_BITS
+        # Non-rushing king corruption (king-targeting) lands before the king
+        # broadcasts; the adversary's own round-2 traffic is counted but its
+        # payloads are unheard (phase-king nodes only read KingValue).
+        kernel.pre_coin(ctx)
+        before = messages.copy()
+        kernel.round2(ctx, zero_counts, zero_counts, zero_counts)
+        bits += (messages - before) * _COMBINED_ANNOUNCEMENT_BITS
+        king_active = active[:, king]
+        messages += np.where(king_active, n, 0)
+        bits += np.where(king_active, n * _KING_VALUE_BITS, 0)
 
-        strong_threshold = n // 2 + t
-        for g, (ids, _, _) in enumerate(groups):
-            strong = majority_count[g] > strong_threshold
-            if king_honest:
-                new_value = np.where(strong, majority_value[g], king_value)
-            else:
-                # A silent (Byzantine) king: fall back to the group majority.
-                new_value = majority_value[g]
-            value[:, ids] = new_value[:, None]
+        strong = majority_count > strong_threshold
+        # Uniform effect planes broadcast as (B, 1) columns; the king's own
+        # majority then sits in the only column.
+        king_value = majority[:, king if majority.shape[1] > 1 else 0]
+        # A silent (Byzantine) king: fall back to the own-group majority.
+        new_value = np.where(
+            strong | ~king_active[:, None], majority, king_value[:, None]
+        )
+        value ^= (value ^ new_value) & active
 
     rounds = np.full(batch, 2 * num_phases, dtype=np.int64)
     phases = np.full(batch, num_phases, dtype=np.int64)

@@ -3,10 +3,11 @@
 Rabin's dealer-coin protocol and Ben-Or's private-coin protocol both reuse
 Algorithm 3's two-round phase structure (their object implementations subclass
 :class:`repro.core.agreement.CommitteeAgreementNode` and override only the
-case-3 coin), so their batched kernels share one loop as well.  The loop is
-the committee engine's uniform-multiset path (every honest node sees the same
-round-1/round-2 announcement multiset) with the committee coin replaced by a
-pluggable source:
+case-3 coin), so their batched kernels run on the same shared
+:class:`repro.simulator.phase_engine.PhaseEngine` as the committee family —
+with the committee rotation disabled (every node broadcasts a share each
+round 2, because the bookkeeping committee is the whole network) and the
+committee coin swapped for a pluggable source:
 
 ``"dealer"``
     One public bit per ``(trial, phase)``, identical at every node — Rabin's
@@ -20,13 +21,13 @@ pluggable source:
     streams cannot be reproduced in bulk, so this kernel is validated
     statistically against the object simulator.
 
-The ``straddle`` behaviour (the rushing coin attack) is supported for the
-dealer coin: the adversary spends corruptions exactly as
-:class:`~repro.adversary.strategies.coin_attack.CoinAttackAdversary` would —
-reading the honest share sum, corrupting enough same-sign share broadcasters —
-but the attack is futile by construction, because every recipient adopts the
-dealer's public bit regardless of the shares.  The kernel reproduces both the
-corruption spending and the futility.
+Adversary behaviour comes from the same
+:class:`~repro.adversary.kernels.base.AdversaryKernel` plane kernels the
+committee engine uses, so both baselines inherit the full applicable strategy
+matrix — including the rushing ``straddle``/``crash`` attacks, whose share
+splits are futile by construction against a dealer or private coin (the
+engine ignores the adjustment planes for those coin sources, while the
+corruption spending is reproduced faithfully).
 """
 
 from __future__ import annotations
@@ -35,36 +36,39 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.kernels.common import PAYLOAD_BITS, corrupted_columns, row_popcount
-from repro.baselines.rabin import dealer_coin_bit
-from repro.exceptions import ConfigurationError
+from repro.adversary.kernels import build_adversary_kernel
+from repro.adversary.kernels.capabilities import (
+    COMMITTEE,
+    CORRUPT_ADAPTIVE,
+    CORRUPT_STATIC,
+    RNG,
+    ROUND1_VALUES,
+    ROUND2_RECORDS,
+    SHARES_BROADCAST,
+)
+from repro.baselines.kernels.common import PAYLOAD_BITS
+from repro.core.parameters import ProtocolParameters
+from repro.simulator.phase_engine import PhaseEngine
+
+#: Adversary hook surface of the skeleton — the full committee-engine set:
+#: both rounds' announcement channels, rushing share observation (every node
+#: broadcasts a share; the coin just ignores them) and the whole-network
+#: bookkeeping committee.
+SKELETON_HOOKS = frozenset(
+    {
+        CORRUPT_STATIC,
+        CORRUPT_ADAPTIVE,
+        ROUND1_VALUES,
+        ROUND2_RECORDS,
+        SHARES_BROADCAST,
+        COMMITTEE,
+        RNG,
+    }
+)
 
 #: CONGEST cost (bits) of the round-1/round-2 payloads — same convention as
 #: the committee engine (ValueAnnouncement / CombinedAnnouncement).
 ROUND_PAYLOAD_BITS = PAYLOAD_BITS["CombinedAnnouncement"]
-
-#: Fault behaviours the skeleton models.
-SKELETON_BEHAVIOURS = ("none", "silent", "straddle")
-
-
-def _draw_row_shares(
-    draw_fns: Sequence, rows: np.ndarray, active: np.ndarray
-) -> np.ndarray:
-    """Fresh ±1 shares for every active node of the selected rows.
-
-    One ``integers(0, 2, size=count)`` call per selected trial, in row order,
-    matching the committee engine's share-draw convention so per-trial streams
-    stay independent of batch composition.
-    """
-    batch, n = active.shape
-    shares = np.zeros((batch, n), dtype=np.int8)
-    counts = np.count_nonzero(active, axis=1)
-    draws = [draw_fns[b](0, 2, size=int(counts[b])) for b in range(batch) if rows[b]]
-    if draws:
-        flat = np.concatenate(draws).astype(np.int8)
-        mask = active & rows[:, None]
-        shares[mask] = (flat << 1) - 1
-    return shares
 
 
 def run_phase_skeleton_batch(
@@ -75,7 +79,7 @@ def run_phase_skeleton_batch(
     *,
     behaviour: str,
     coin: str,
-    num_phases: int,
+    params: ProtocolParameters,
     las_vegas: bool,
     max_phases: int,
     dealer_seeds: Sequence[int] | None = None,
@@ -85,12 +89,14 @@ def run_phase_skeleton_batch(
     Args:
         inputs: ``(B, n)`` input bits.
         rngs: One Philox generator per trial (consumed only by the private
-            coin and, under ``straddle``, by the share draws the adversary
+            coin, the ``random-noise`` kernel's aggregate draws and — under
+            the rushing share attacks — the share draws the adversary
             inspects).
-        behaviour: One of :data:`SKELETON_BEHAVIOURS`.
+        behaviour: An :data:`repro.adversary.kernels.ADVERSARY_PLANE_KERNELS`
+            name.
         coin: ``"dealer"`` or ``"private"``.
-        num_phases: Bounded-variant phase schedule (ignored when
-            ``las_vegas``).
+        params: Protocol parameters (``num_phases`` bounded schedule; the
+            bookkeeping ``committee_size == n`` the adversary kernels read).
         max_phases: Hard cap for Las Vegas runs; trials still active at the
             cap are reported with ``timed_out``.
         dealer_seeds: Per-trial public dealer seed (required for the dealer
@@ -98,157 +104,21 @@ def run_phase_skeleton_batch(
             exact cross-validation passes ``base_seed + k``.
 
     Returns:
-        The final state planes plus per-trial counters, for
-        :func:`repro.baselines.kernels.common.finalize_planes`.
+        The final state planes plus per-trial counters, with the skeleton's
+        flat per-message bit accounting applied.
     """
-    if behaviour not in SKELETON_BEHAVIOURS:
-        raise ConfigurationError(
-            f"skeleton behaviour must be one of {SKELETON_BEHAVIOURS}, got {behaviour!r}"
-        )
-    if coin not in ("dealer", "private"):
-        raise ConfigurationError(f"coin must be 'dealer' or 'private', got {coin!r}")
-    if coin == "dealer" and dealer_seeds is None:
-        raise ConfigurationError("the dealer coin needs per-trial dealer_seeds")
-    if behaviour == "straddle" and coin != "dealer":
-        raise ConfigurationError("the straddle behaviour is modelled for the dealer coin only")
-
-    batch = inputs.shape[0]
-    quorum = n - t
-    phase_cap = max_phases if las_vegas else num_phases
-
-    value = inputs.astype(bool).copy()
-    decided = np.zeros((batch, n), dtype=bool)
-    corrupted = np.tile(corrupted_columns(n, t, behaviour), (batch, 1))
-    active = ~corrupted
-    can_update = np.ones((batch, n), dtype=bool)
-    flush_now = np.zeros((batch, n), dtype=bool)
-    flush_next = np.zeros((batch, n), dtype=bool)
-    output = np.zeros((batch, n), dtype=bool)
-    budget = np.full(batch, t if behaviour == "straddle" else 0, dtype=np.int64)
-    messages = np.zeros(batch, dtype=np.int64)
-    phases = np.zeros(batch, dtype=np.int64)
-    draw_fns = [rng.integers for rng in rngs]
-    pending_any = False
-
-    for phase in range(1, phase_cap + 1):
-        sender_count = row_popcount(active)
-        running = sender_count > 0
-        if not running.any():
-            break
-        flush_now, flush_next = flush_next, flush_now
-        finishing_due = pending_any
-        if finishing_due:
-            flush_next[:] = False
-        phases[running] = phase
-        updatable = active & can_update
-        # Both rounds broadcast the same sender set; count them together.
-        messages[running] += 2 * sender_count[running] * n
-
-        # ---------------- Round 1 ----------------
-        ones = row_popcount(value & active)
-        zeros = sender_count - ones
-        quorum1 = ones >= quorum
-        quorum_any = quorum1 | (zeros >= quorum)
-        if quorum_any.any():
-            value ^= (value ^ quorum1[:, None]) & (updatable & quorum_any[:, None])
-        decided ^= (decided ^ quorum_any[:, None]) & updatable
-
-        # ---------------- Round 2 ----------------
-        decided_senders = active & decided
-        d1 = row_popcount(value & decided_senders)
-        d0 = row_popcount(decided_senders) - d1
-
-        reach_q1 = d1 >= quorum
-        reach_q0 = d0 >= quorum
-        finish1 = reach_q1 & (~reach_q0 | (d1 >= d0))
-        finish0 = reach_q0 & ~finish1
-        finish_any = finish1 | finish0
-        reach1 = d1 >= t + 1
-        reach0 = d0 >= t + 1
-        adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
-        adopt0 = ~finish_any & reach0 & ~adopt1
-        assigned = finish_any | adopt1 | adopt0
-        case3 = running & ~assigned
-
-        if behaviour == "straddle" and case3.any():
-            # The rushing adversary reads the fresh shares (every active node
-            # broadcasts one — the "committee" is the whole network here),
-            # and corrupts just enough same-sign broadcasters for a straddle.
-            shares = _draw_row_shares(draw_fns, running, active)
-            honest_sum = shares.sum(axis=1)
-            controlled = row_popcount(corrupted)
-            sign = np.where(honest_sum >= 0, 1, -1).astype(np.int8)
-            raw = np.where(
-                honest_sum >= 0,
-                honest_sum - controlled + 1,
-                -honest_sum - controlled,
-            )
-            needed = np.maximum(0, -((-raw) // 2))
-            same_sign = active & (shares == sign[:, None])
-            available = np.count_nonzero(same_sign, axis=1)
-            spoiled = case3 & (budget > 0) & (needed <= budget) & (needed <= available)
-            if spoiled.any():
-                rank = same_sign.cumsum(axis=1, dtype=np.int32)
-                new_corrupt = same_sign & (rank <= needed[:, None]) & spoiled[:, None]
-                corrupted |= new_corrupt
-                active &= ~new_corrupt
-                budget[spoiled] -= needed[spoiled]
-                # Adversary round-2 traffic: controlled members to all honest.
-                messages[spoiled] += ((controlled + needed) * row_popcount(active))[spoiled]
-                # The straddle is futile against a public dealer coin: the
-                # recipients below still adopt the same per-trial bit.
-
-        # Case 1/2 (finish/adopt).
-        if assigned.any():
-            new_value = finish1 | adopt1
-            blend = updatable & assigned[:, None]
-            value ^= (value ^ new_value[:, None]) & blend
-            decided |= blend
-        # Case 3: the phase coin.
-        if case3.any():
-            coin_mask = active & can_update & case3[:, None]
-            if coin == "dealer":
-                assert dealer_seeds is not None
-                coin_rows = np.zeros(batch, dtype=bool)
-                for b in np.flatnonzero(case3):
-                    coin_rows[b] = bool(dealer_coin_bit(dealer_seeds[b], phase))
-                value ^= (value ^ coin_rows[:, None]) & coin_mask
-            else:
-                coin_plane = np.zeros((batch, n), dtype=bool)
-                for b in np.flatnonzero(case3):
-                    coin_plane[b] = draw_fns[b](0, 2, size=n).astype(bool)
-                value ^= (value ^ coin_plane) & coin_mask
-            decided &= ~coin_mask
-
-        if finish_any.any():
-            flush_mask = updatable & finish_any[:, None]
-            flush_next |= flush_mask
-            can_update ^= flush_mask  # flush_mask is a subset of can_update
-            pending_any = True
-        else:
-            pending_any = False
-
-        # Flush-phase terminations (nodes finishing this phase).
-        if finishing_due:
-            finishing = active & flush_now
-            output ^= (output ^ value) & finishing
-            active ^= finishing  # finishing is a subset of active
-
-        # Bounded variant: decide by exhaustion after the last phase.
-        if not las_vegas and phase >= num_phases:
-            output ^= (output ^ value) & active
-            active[:] = False
-
-    timed_out = active.any(axis=1)
-    # Treat unfinished honest nodes' current value as their output so that
-    # agreement/validity can still be evaluated.
-    output ^= (output ^ value) & active
-    return {
-        "output": output,
-        "corrupted": corrupted,
-        "rounds": 2 * phases,
-        "phases": phases,
-        "messages": messages,
-        "bits": messages * ROUND_PAYLOAD_BITS,
-        "timed_out": timed_out,
-    }
+    kernel = build_adversary_kernel(behaviour, n=n, t=t, params=params)
+    engine = PhaseEngine(
+        n=n,
+        t=t,
+        params=params,
+        coin=coin,
+        las_vegas=las_vegas,
+        num_phases=params.num_phases,
+        max_phases=max_phases,
+        rotate_committee=False,
+        dealer_seeds=dealer_seeds,
+    )
+    state = engine.run_batch(inputs, rngs, kernel)
+    state["bits"] = state["messages"] * ROUND_PAYLOAD_BITS
+    return state

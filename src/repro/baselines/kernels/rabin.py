@@ -23,9 +23,6 @@ from repro.baselines.kernels.phase_skeleton import run_phase_skeleton_batch
 from repro.baselines.rabin import rabin_parameters
 from repro.core.parameters import validate_n_t
 
-#: Fault behaviours this kernel models.
-RABIN_BEHAVIOURS = ("none", "silent", "straddle")
-
 
 def run_rabin_trials(
     n: int,
@@ -44,6 +41,9 @@ def run_rabin_trials(
     ``k`` uses the Philox key ``(seed, trial_offset + k)`` for any private
     randomness and the dealer seed ``seed + trial_offset + k`` for the public
     coin stream, so sharded sub-batches replay the exact single-batch streams.
+    ``adversary`` accepts any plane-kernel behaviour name; the share attacks
+    (``straddle``/``crash``/``committee-targeting``) spend their corruptions
+    faithfully but cannot move the public dealer coin.
     """
     validate_n_t(n, t)
     params = rabin_parameters(n, t, phases_factor=phases_factor)
@@ -55,7 +55,7 @@ def run_rabin_trials(
         rngs,
         behaviour=adversary,
         coin="dealer",
-        num_phases=params.num_phases,
+        params=params,
         las_vegas=False,
         max_phases=params.num_phases,
         dealer_seeds=[seed + trial_offset + k for k in range(trials)],

@@ -7,14 +7,25 @@ plus the samples it received.  The kernel runs all trials at once: one
 ``(n, sample_size)`` peer draw per trial per iteration, a batched gather of
 the sampled values, and a vectorised majority update.
 
-Under the ``silent`` behaviour the corrupted nodes neither request nor reply,
-so a sample that lands on a corrupted peer simply contributes nothing to the
-voter's majority — exactly the object semantics of
-:class:`repro.baselines.sampling_majority.SamplingMajorityNode` under
-:class:`~repro.adversary.strategies.silence.SilentAdversary`.  The object
-simulator draws each node's samples from its own Philox stream, so the
-cross-validation is statistical (agreement rate, message volume), while the
-round count ``2 * ceil(iterations_factor * log2(n)^2)`` is exact.
+Sampling nodes read only ``SampleRequest``/``SampleReply`` payloads, so every
+adversary model reduces to *which nodes stop participating when* plus the
+delivered-but-ignored crafted traffic — both read off the behaviour's
+:class:`~repro.adversary.kernels.base.AdversaryKernel` class:
+
+* ``silent`` / ``static`` / ``random-noise`` — a fixed corrupted set from the
+  first round (first-``t`` or top-``t`` ids): a sample landing on a corrupted
+  peer contributes nothing to the voter's majority, exactly the object
+  semantics;
+* ``equivocate`` — the adaptive mouthpiece schedule: one fresh corruption per
+  iteration (lowest honest id, while the budget lasts), so the non-replying
+  set *grows* over the run exactly as the object strategy recruits;
+* the share attacks and committee targeting have no lever (no shares, no
+  distinguished node; their object strategies provably no-op) and dispatch to
+  the exact failure-free behaviour.
+
+The object simulator draws each node's samples from its own Philox stream, so
+the cross-validation is statistical (agreement rate, message volume), while
+the round count ``2 * ceil(iterations_factor * log2(n)^2)`` is exact.
 """
 
 from __future__ import annotations
@@ -23,23 +34,31 @@ import math
 
 import numpy as np
 
+from repro.adversary.kernels import ADVERSARY_PLANE_KERNELS, EquivocatePlaneKernel
+from repro.adversary.kernels.capabilities import (
+    CORRUPT_ADAPTIVE,
+    CORRUPT_STATIC,
+    RNG,
+)
 from repro.baselines.kernels.common import (
     PAYLOAD_BITS,
     VectorizedAggregate,
     aggregate,
     batch_setup,
-    corrupted_columns,
     finalize_planes,
 )
 from repro.core.parameters import validate_n_t
 from repro.exceptions import ConfigurationError
 
-#: Fault behaviours this kernel models.
-SAMPLING_BEHAVIOURS = ("none", "silent")
+#: Adversary hook surface this kernel implements: up-front corruption plus
+#: the per-iteration corruption schedule (no value/record/share channels).
+SAMPLING_HOOKS = frozenset({CORRUPT_STATIC, CORRUPT_ADAPTIVE, RNG})
 
 #: CONGEST payload sizes (bits), derived from repro.simulator.messages.
 _REQUEST_BITS = PAYLOAD_BITS["SampleRequest"]
 _REPLY_BITS = PAYLOAD_BITS["SampleReply"]
+_VALUE_ANNOUNCEMENT_BITS = PAYLOAD_BITS["ValueAnnouncement"]
+_COMBINED_ANNOUNCEMENT_BITS = PAYLOAD_BITS["CombinedAnnouncement"]
 
 
 def run_sampling_majority_trials(
@@ -56,27 +75,34 @@ def run_sampling_majority_trials(
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of the sampling-majority process."""
     validate_n_t(n, t)
-    if adversary not in SAMPLING_BEHAVIOURS:
+    kernel_class = ADVERSARY_PLANE_KERNELS.get(adversary)
+    if kernel_class is None:
         raise ConfigurationError(
-            f"sampling-majority kernel behaviour must be one of {SAMPLING_BEHAVIOURS}, "
-            f"got {adversary!r}"
+            f"unknown sampling-majority kernel behaviour {adversary!r}; "
+            f"available: {sorted(ADVERSARY_PLANE_KERNELS)}"
         )
     input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
     log_n = max(1.0, math.log2(max(2, n)))
     num_iterations = max(1, math.ceil(iterations_factor * log_n * log_n))
     sample_size = max(1, sample_size)
-
-    corrupted_cols = corrupted_columns(n, t, adversary)
-    honest_cols = ~corrupted_cols
-    n_honest = int(honest_cols.sum())
+    staggered = issubclass(kernel_class, EquivocatePlaneKernel)
 
     value = input_rows.astype(bool).copy()
-    corrupted = np.tile(corrupted_cols, (batch, 1))
+    corrupted_cols = kernel_class.initial_corrupted_columns(n, t)
     messages = np.zeros(batch, dtype=np.int64)
     bits = np.zeros(batch, dtype=np.int64)
 
-    for _ in range(num_iterations):
+    for iteration in range(1, num_iterations + 1):
+        if staggered:
+            # One fresh mouthpiece per iteration (lowest honest id) while the
+            # budget lasts — the object equivocator's recruitment schedule.
+            corrupted_cols = np.zeros(n, dtype=bool)
+            corrupted_cols[: min(iteration, t)] = True
+        honest_cols = ~corrupted_cols
+        n_honest = int(honest_cols.sum())
+        n_corrupt = n - n_honest
+
         peers = np.stack(
             [rngs[b].integers(0, n, size=(n, sample_size)) for b in range(batch)]
         )
@@ -91,12 +117,21 @@ def run_sampling_majority_trials(
         value ^= (value ^ new_value) & honest_cols[None, :]
 
         # Requests from every honest node; a reply per request that landed on
-        # an honest peer (honest nodes answer everyone who sampled them).
+        # an honest peer (honest nodes answer everyone who sampled them);
+        # plus the behaviour's delivered-but-ignored crafted traffic.
         replies = peer_honest[:, honest_cols, :].sum(axis=(1, 2))
         requests = n_honest * sample_size
         messages += requests + replies
         bits += requests * _REQUEST_BITS + replies * _REPLY_BITS
+        for round_in_phase, payload_bits in (
+            (1, _VALUE_ANNOUNCEMENT_BITS),
+            (2, _COMBINED_ANNOUNCEMENT_BITS),
+        ):
+            crafted = kernel_class.crafted_traffic(n_corrupt, n_honest, round_in_phase)
+            messages += crafted
+            bits += crafted * payload_bits
 
+    corrupted = np.tile(corrupted_cols, (batch, 1))
     results = finalize_planes(
         n,
         t,

@@ -42,11 +42,13 @@ from repro.baselines.rabin import RabinDealerNode
 from repro.baselines.sampling_majority import SamplingMajorityNode
 from repro.core.agreement import CommitteeAgreementNode
 from repro.core.committee import CommitteePartition
+from repro.core.inputs import INPUT_PATTERNS as INPUT_PATTERNS  # re-export
+from repro.core.inputs import input_list
 from repro.core.las_vegas import LasVegasAgreementNode
 from repro.core.parameters import ProtocolParameters, log2n, validate_n_t
 from repro.exceptions import ConfigurationError
 from repro.simulator.node import ProtocolNode
-from repro.simulator.rng import RandomnessSource, random_inputs, split_inputs, unanimous_inputs
+from repro.simulator.rng import RandomnessSource
 from repro.simulator.scheduler import RunResult, SynchronousScheduler
 
 # ----------------------------------------------------------------------
@@ -83,32 +85,16 @@ ADVERSARIES: dict[str, Callable[..., Adversary]] = {
     "crash": AdaptiveCrashAdversary,
 }
 
-#: Input-pattern names accepted by :func:`build_inputs`.
-INPUT_PATTERNS = ("split", "random", "unanimous-0", "unanimous-1")
-
-
 def build_inputs(n: int, pattern: str | Sequence[int], randomness: RandomnessSource) -> list[int]:
-    """Materialise an input assignment from a pattern name or an explicit list.
+    """Materialise an input assignment (:func:`repro.core.inputs.input_list`).
 
-    Patterns:
+    Patterns (shared, via :mod:`repro.core.inputs`, with the plane engines'
+    :func:`~repro.core.inputs.input_row`):
         ``"split"`` — first half 0, second half 1 (the hardest honest input);
         ``"random"`` — i.i.d. uniform bits from the environment stream;
         ``"unanimous-0"`` / ``"unanimous-1"`` — all nodes share the value.
     """
-    if not isinstance(pattern, str):
-        inputs = [int(b) for b in pattern]
-        if len(inputs) != n or any(b not in (0, 1) for b in inputs):
-            raise ConfigurationError("explicit inputs must be n binary values")
-        return inputs
-    if pattern == "split":
-        return split_inputs(n)
-    if pattern == "random":
-        return random_inputs(n, randomness.environment_stream())
-    if pattern == "unanimous-0":
-        return unanimous_inputs(n, 0)
-    if pattern == "unanimous-1":
-        return unanimous_inputs(n, 1)
-    raise ConfigurationError(f"unknown input pattern {pattern!r}; expected one of {INPUT_PATTERNS}")
+    return input_list(n, pattern, randomness)
 
 
 def default_max_rounds(protocol: str, n: int, t: int) -> int:
@@ -123,7 +109,7 @@ def default_max_rounds(protocol: str, n: int, t: int) -> int:
     """
     log_n = log2n(n)
     if protocol in ("committee-ba", "chor-coan", "rabin"):
-        params = _protocol_parameters(protocol, n, t, {})
+        params = protocol_parameters(protocol, n, t, {})
         return 2 * (params.num_phases + 2) + 4
     if protocol in ("committee-ba-las-vegas", "chor-coan-las-vegas"):
         return 2 * (2 * t + 40 * int(log_n) + 60)
@@ -138,8 +124,14 @@ def default_max_rounds(protocol: str, n: int, t: int) -> int:
     return 20 * n + 100
 
 
-def _protocol_parameters(protocol: str, n: int, t: int, kwargs: dict[str, Any]) -> ProtocolParameters:
-    """Committee geometry for the committee-family protocols."""
+def protocol_parameters(protocol: str, n: int, t: int, kwargs: dict[str, Any]) -> ProtocolParameters:
+    """Committee geometry for the committee-family protocols.
+
+    The single source of truth for alpha/committee sizing, shared with the
+    vectorised engines (:func:`repro.simulator.vectorized.build_vectorized_simulator`
+    resolves its parameters here), so the object and plane paths cannot
+    drift.
+    """
     alpha = kwargs.get("alpha", 4.0)
     if protocol in ("committee-ba", "committee-ba-las-vegas"):
         return ProtocolParameters.derive(n, t, alpha)
@@ -152,6 +144,10 @@ def _protocol_parameters(protocol: str, n: int, t: int, kwargs: dict[str, Any]) 
 
         return rabin_parameters(n, t, phases_factor=kwargs.get("phases_factor", 4.0))
     raise ConfigurationError(f"protocol {protocol!r} does not use committee parameters")
+
+
+#: Backwards-compatible private alias (pre-export name).
+_protocol_parameters = protocol_parameters
 
 
 def _build_nodes(
@@ -172,7 +168,7 @@ def _build_nodes(
     nodes: list[ProtocolNode] = []
 
     if protocol in _COMMITTEE_FAMILY:
-        params = _protocol_parameters(protocol, n, t, protocol_kwargs)
+        params = protocol_parameters(protocol, n, t, protocol_kwargs)
         partition = CommitteePartition(n, params.committee_size)
         context["params"] = params
         context["partition"] = partition
@@ -191,6 +187,12 @@ def _build_nodes(
                 )
             )
     else:
+        if protocol == "phase-king":
+            # Expose the king schedule as the degenerate committee partition
+            # (committees of one), so the distinguished-node adversaries —
+            # committee targeting foremost — degrade to king targeting
+            # instead of silently no-opping.
+            context["partition"] = CommitteePartition(n, 1)
         for node_id in range(n):
             nodes.append(
                 node_class(

@@ -50,6 +50,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.adversary.kernels.capabilities import derive_behaviours
 from repro.baselines.kernels import (
     BASELINE_KERNELS,
     CoinTrialsResult,
@@ -66,7 +67,7 @@ from repro.core.runner import (
     run_single_trial,
 )
 from repro.exceptions import ConfigurationError, SimulationError
-from repro.simulator.vectorized import run_vectorized_trials
+from repro.simulator.vectorized import COMMITTEE_ENGINE_HOOKS, run_vectorized_trials
 
 #: Engine names accepted by :func:`run_sweep`.
 ENGINES = ("auto", "vectorized", "vectorized-mp", "object", "object-mp")
@@ -82,24 +83,12 @@ ENGINE_FAMILIES = {
     "object-mp": "object",
 }
 
-#: Object-simulator adversary names -> committee-engine behaviours.  The
-#: vectorised names themselves are accepted as aliases so existing callers of
-#: ``run_vectorized_trials`` can migrate without renaming.  The last three
-#: behaviours are served by the adversary plane kernels of
-#: :mod:`repro.adversary.kernels`; with them every registered adversary
-#: strategy has a committee-family fast path.
-ADVERSARY_FAST_PATH = {
-    "null": "none",
-    "none": "none",
-    "coin-attack": "straddle",
-    "straddle": "straddle",
-    "silent": "silent",
-    "crash": "crash",
-    "random-noise": "random-noise",
-    "static": "static",
-    "equivocate": "equivocate",
-    "committee-targeting": "committee-targeting",
-}
+#: Object-simulator adversary names -> committee-engine behaviours, derived
+#: from the committee engine's full hook surface (the vectorised names
+#: themselves are accepted as aliases so existing callers of
+#: ``run_vectorized_trials`` can migrate without renaming).  Every registered
+#: adversary strategy has a committee-family fast path.
+ADVERSARY_FAST_PATH = derive_behaviours(COMMITTEE_ENGINE_HOOKS)
 
 #: The committee engine's bit-identity guarantee is against its own
 #: single-trial vectorised path (same (seed, k) Philox keys), not the object
@@ -113,7 +102,7 @@ def _committee_spec(protocol: str) -> KernelSpec:
     return KernelSpec(
         name="committee",
         run_trials=partial(run_vectorized_trials, protocol=protocol),
-        behaviours=ADVERSARY_FAST_PATH,
+        hooks=COMMITTEE_ENGINE_HOOKS,
         exact=_COMMITTEE_EXACT,
         supports_params=True,
         protocol_kwargs=frozenset({"alpha"}),
@@ -538,6 +527,15 @@ def dispatch_table() -> list[dict[str, str]]:
         spec = PROTOCOL_KERNELS.get(protocol)
         for adversary in sorted(ADVERSARIES):
             fast = vectorizable(protocol, adversary)
+            if fast and spec:
+                if adversary in spec.inapplicable:
+                    validation = "exact (no-op)"
+                elif adversary in spec.exact:
+                    validation = "exact"
+                else:
+                    validation = "statistical"
+            else:
+                validation = "-"
             rows.append(
                 {
                     "protocol": protocol,
@@ -545,18 +543,20 @@ def dispatch_table() -> list[dict[str, str]]:
                     "auto engine": "vectorized" if fast else "object",
                     "kernel": spec.name if fast and spec else "-",
                     "fast-path behaviour": spec.behaviours[adversary] if fast and spec else "-",
-                    "validation": (
-                        ("exact" if adversary in spec.exact else "statistical")
-                        if fast and spec
-                        else "-"
-                    ),
+                    "validation": validation,
                 }
             )
     return rows
 
 
 def kernel_support_table() -> list[dict[str, str]]:
-    """One row per protocol: its kernel and the adversaries it vectorises."""
+    """One row per protocol: its kernel and the adversaries it vectorises.
+
+    ``inapplicable`` lists — explicitly — the strategies with no lever on the
+    protocol (their object implementations provably no-op; the fast path runs
+    the exact failure-free behaviour for them), and ``object only`` the pairs
+    whose lever the kernels do not model.
+    """
     rows = []
     for protocol in sorted(PROTOCOLS):
         spec = PROTOCOL_KERNELS.get(protocol)
@@ -566,16 +566,28 @@ def kernel_support_table() -> list[dict[str, str]]:
                     "protocol": protocol,
                     "kernel": "-",
                     "vectorized adversaries": "-",
+                    "inapplicable": "-",
+                    "object only": "-",
                     "max_rounds": "-",
                 }
             )
             continue
-        supported = sorted(name for name in spec.behaviours if name in ADVERSARIES)
+        inapplicable = sorted(spec.inapplicable)
+        supported = sorted(
+            name
+            for name in spec.behaviours
+            if name in ADVERSARIES and name not in spec.inapplicable
+        )
+        unmodelled = sorted(
+            name for name in ADVERSARIES if name not in spec.behaviours
+        )
         rows.append(
             {
                 "protocol": protocol,
                 "kernel": spec.name,
                 "vectorized adversaries": ", ".join(supported),
+                "inapplicable": ", ".join(inapplicable) if inapplicable else "-",
+                "object only": ", ".join(unmodelled) if unmodelled else "-",
                 "max_rounds": "yes" if spec.supports_max_rounds else "object only",
             }
         )

@@ -52,6 +52,23 @@ LANDSCAPE = [
     ("sampling-majority", 1, "silent", {}),
 ]
 
+#: Full-mode adversary axis: the PhaseEngine unification gave every baseline
+#: the full applicable adversary-kernel matrix, so the full landscape also
+#: sweeps each scalable baseline under the adaptive strategies at the
+#: landscape's ``n >= 256`` — comparisons the object simulator could only
+#: afford at toy sizes before.  Same row conventions as :data:`LANDSCAPE`;
+#: row ``j`` seeds at ``9000 + 100 * (len(LANDSCAPE) + j)``.
+ADVERSARY_AXIS = [
+    ("rabin", None, "equivocate", {}),
+    ("rabin", None, "random-noise", {}),
+    ("rabin", None, "committee-targeting", {}),
+    ("phase-king", "quarter", "equivocate", {}),
+    ("phase-king", "quarter", "random-noise", {}),
+    ("phase-king", "quarter", "committee-targeting", {}),
+    ("sampling-majority", 1, "equivocate", {}),
+    ("sampling-majority", 1, "random-noise", {}),
+]
+
 
 def landscape_t(t_spec, n: int, t_default: int) -> int:
     """Resolve a landscape row's ``t`` override for network size ``n``."""
@@ -83,7 +100,17 @@ def run(quick: bool = True, engine: str = "auto") -> ExperimentReport:
         "ben-or/eig/sampling run with reduced t (their practical limits); "
         "eig additionally caps n (its messages grow as n^(t+1))"
     )
-    for index, (protocol, t_spec, adversary, extra) in enumerate(LANDSCAPE):
+    rows = list(LANDSCAPE)
+    if not quick:
+        # The adversary axis only makes sense at scale (its point is the
+        # baselines under *adaptive* attack at n >= 256 on the fast path).
+        report.add_note(
+            "full mode adds an adversary axis: each scalable baseline under "
+            "the adaptive equivocate / random-noise / committee-targeting "
+            "strategies at the landscape n"
+        )
+        rows += ADVERSARY_AXIS
+    for index, (protocol, t_spec, adversary, extra) in enumerate(rows):
         n = min(n_config, extra.get("n_cap", n_config))
         t = landscape_t(t_spec, n, t_default)
         experiment = AgreementExperiment(

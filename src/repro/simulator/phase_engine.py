@@ -1,0 +1,458 @@
+"""The shared hook-driven plane-execution engine for two-round-phase protocols.
+
+Every batched protocol built on the paper's two-round phase skeleton — the
+committee-BA family, its Chor–Coan variant, Rabin's dealer-coin protocol and
+Ben-Or's private-coin protocol — executes through this one loop.  The engine
+owns everything that used to be triplicated across the committee engine's
+``_run_batch_uniform`` / ``_run_batch_noise`` / ``_run_batch_planes`` paths
+and the baselines' ``run_phase_skeleton_batch``:
+
+* the ``(B, n)`` boolean state planes and their XOR-blend updates;
+* live-trial compaction (finished trials are archived and dropped from the
+  working arrays, so late phases only pay for the trials still running);
+* per-phase adversary hooks — ``setup`` once, then ``round1`` / ``pre_coin``
+  / ``round2`` per phase — driving a pluggable
+  :class:`~repro.adversary.kernels.base.AdversaryKernel`;
+* committee coin-share draws on the per-trial Philox generators (always for
+  the committee coin; lazily, only when the kernel is share-hungry and some
+  trial can reach the coin case, for the dealer/private coins);
+* CONGEST message accounting (honest broadcasts engine-side, adversary
+  traffic kernel-side) and flush-phase / bounded-exhaustion termination;
+* the batched agreement/validity finaliser (:func:`finalize_planes`).
+
+What distinguishes the protocols is reduced to configuration: the *coin
+source* (``"committee"``: sign of the designated committee's share sum,
+adjusted by the kernel's additive share planes; ``"dealer"``: Rabin's public
+per-``(trial, phase)`` bit; ``"private"``: Ben-Or's per-node local flips) and
+the committee rotation (the paper's rotating ID slices vs the skeleton's
+whole-network share set).  Adversary behaviour is reduced to the kernel: the
+engine never branches on a strategy name, which is what lets every protocol
+on this loop inherit every applicable adversary kernel for free.
+
+The loop is bit-compatible with all the paths it replaced: per-trial
+randomness is drawn from the same generators in the same order (checked by
+the batched-vs-single-trial identity tests and the engine-throughput
+benchmark), and compaction never changes results because trials draw only
+from their own generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.adversary.kernels.base import AdversaryKernel, KernelContext
+from repro.core.parameters import ProtocolParameters
+from repro.exceptions import ConfigurationError
+from repro.simulator.bitplanes import row_popcount
+
+__all__ = ["COIN_SOURCES", "PhaseEngine", "draw_committee_shares", "finalize_planes"]
+
+#: Coin sources the engine models.
+COIN_SOURCES = ("committee", "dealer", "private")
+
+#: Fraction of live trials below which the working arrays are compacted.
+_COMPACTION_THRESHOLD = 0.75
+
+
+def draw_committee_shares(
+    draw_fns: Sequence,
+    running: np.ndarray,
+    committee_active: np.ndarray,
+) -> np.ndarray:
+    """Per-trial fresh ±1 shares for the active committee members.
+
+    One ``integers(0, 2, size=count)`` call per running trial — the same
+    calls, in the same order, as the single-trial path, so the consumed bit
+    streams are identical.  The raw draws are concatenated and scattered in a
+    single vectorised pass: boolean-mask assignment walks the mask in
+    row-major order, which is exactly the concatenation order (non-running
+    trials have all-False committee rows and draw nothing).
+    """
+    batch, width = committee_active.shape
+    shares = np.zeros((batch, width), dtype=np.int8)
+    counts = np.count_nonzero(committee_active, axis=1)
+    draws = [
+        draw_fns[b](0, 2, size=int(counts[b]))
+        for b in range(batch)
+        if running[b]
+    ]
+    if draws:
+        flat = np.concatenate(draws).astype(np.int8)
+        shares[committee_active] = (flat << 1) - 1
+    return shares
+
+
+def finalize_planes(
+    n: int,
+    t: int,
+    inputs: np.ndarray,
+    *,
+    output: np.ndarray,
+    corrupted: np.ndarray,
+    messages: np.ndarray,
+    timed_out: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Evaluate agreement/validity per trial over the honest output plane.
+
+    Agreement holds when the honest outputs are unanimous; validity binds
+    only when the honest *inputs* were unanimous.  Returns the per-trial
+    evaluation arrays (the protocol kernels wrap them into their result
+    dataclasses, attaching protocol-specific round/bit accounting).
+    """
+    batch = inputs.shape[0]
+    honest = ~corrupted
+    honest_count = row_popcount(honest)
+    has_honest = honest_count > 0
+    out_ones = row_popcount(output & honest)
+    agreement = (out_ones == 0) | (out_ones == honest_count)
+    in_ones = row_popcount(inputs.astype(bool) & honest)
+    unanimous_1 = has_honest & (in_ones == honest_count)
+    unanimous_0 = has_honest & (in_ones == 0)
+    validity = np.ones(batch, dtype=bool)
+    validity[unanimous_1] = out_ones[unanimous_1] == honest_count[unanimous_1]
+    validity[unanimous_0] = out_ones[unanimous_0] == 0
+    if timed_out is None:
+        timed_out = np.zeros(batch, dtype=bool)
+    return {
+        "agreement": agreement,
+        "validity": validity,
+        "has_honest": has_honest,
+        "out_ones": out_ones,
+        "corrupted_count": row_popcount(corrupted),
+        "messages": messages,
+        "timed_out": timed_out,
+    }
+
+
+@dataclass
+class PhaseEngine:
+    """Batched execution of a two-round-phase protocol under a plane kernel.
+
+    Args:
+        n / t: Network size and Byzantine budget.
+        params: Committee geometry (consumed by the committee rotation and
+            handed to the adversary kernel).
+        coin: One of :data:`COIN_SOURCES`.
+        las_vegas: When True the protocol cycles phases until termination
+            (capped at ``max_phases``, excess trials reported timed out);
+            when False it stops after ``num_phases`` and decides by
+            exhaustion.
+        num_phases: Bounded-variant phase schedule.
+        max_phases: Hard cap for Las Vegas runs.
+        rotate_committee: True for the paper's rotating ID-slice committees;
+            False gives the skeleton's whole-network share set every phase.
+        dealer_seeds: Per-trial public dealer seeds (required for the dealer
+            coin; the object runner hands each trial its master seed).
+        compaction: Archive-and-drop finished trials (on by default; results
+            never depend on it because trials draw only from their own
+            generators).
+    """
+
+    n: int
+    t: int
+    params: ProtocolParameters
+    coin: str
+    las_vegas: bool
+    num_phases: int
+    max_phases: int
+    rotate_committee: bool = True
+    dealer_seeds: Sequence[int] | None = None
+    compaction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.coin not in COIN_SOURCES:
+            raise ConfigurationError(
+                f"coin must be one of {COIN_SOURCES}, got {self.coin!r}"
+            )
+        if self.coin == "dealer" and self.dealer_seeds is None:
+            raise ConfigurationError("the dealer coin needs per-trial dealer_seeds")
+
+    # ------------------------------------------------------------------
+    def _batch_state(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
+        """Allocate the 2-D per-trial state arrays.
+
+        Everything per-node is a boolean plane: values (the protocol is
+        binary), liveness and flush bookkeeping.  All updates are expressed
+        as boolean algebra (``a ^= (a ^ new) & mask`` style blends) because
+        NumPy masked writes cost ~100x more than elementwise and/or/xor
+        passes at this shape; row tallies use byte-packing + popcount for the
+        same reason.  ``active`` (honest and not yet terminated) is
+        maintained incrementally — cleared on corruption and termination — so
+        the honest unfinished nodes at the end are exactly the active ones.
+        A flush phase always ends one phase after it was scheduled, so flush
+        tracking needs only two planes (``flush_next`` set during the current
+        phase, promoted to ``flush_now`` at the next phase top) instead of an
+        integer phase array.
+        """
+        batch, n = inputs.shape
+        return {
+            "value": inputs.astype(bool),
+            "decided": np.zeros((batch, n), dtype=bool),
+            "corrupted": np.zeros((batch, n), dtype=bool),
+            "active": np.ones((batch, n), dtype=bool),
+            "can_update": np.ones((batch, n), dtype=bool),
+            "flush_now": np.zeros((batch, n), dtype=bool),
+            "flush_next": np.zeros((batch, n), dtype=bool),
+            "output": np.zeros((batch, n), dtype=bool),
+            "budget": np.full(batch, self.t, dtype=np.int64),
+            "messages": np.zeros(batch, dtype=np.int64),
+            "phases": np.zeros(batch, dtype=np.int64),
+        }
+
+    def _committee_slice(self, phase: int) -> tuple[int, int]:
+        if not self.rotate_committee:
+            return 0, self.n
+        committee_size = self.params.committee_size
+        num_committees = max(1, math.ceil(self.n / committee_size))
+        start = ((phase - 1) % num_committees) * committee_size
+        return start, min(self.n, start + committee_size)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        inputs: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        kernel: AdversaryKernel,
+    ) -> dict[str, np.ndarray]:
+        """Execute ``B`` trials simultaneously under ``kernel``.
+
+        Returns the final archive planes plus per-trial counters
+        (``output`` / ``corrupted`` / ``messages`` / ``phases`` /
+        ``timed_out``), in batch order, for the caller's finaliser.
+        """
+        inputs = np.asarray(inputs, dtype=np.int8)
+        batch0, n = inputs.shape
+        t = self.t
+        quorum = n - t
+        phase_cap = self.max_phases if self.las_vegas else self.num_phases
+
+        state = self._batch_state(inputs)
+        value = state["value"]
+        decided = state["decided"]
+        corrupted = state["corrupted"]
+        active = state["active"]
+        can_update = state["can_update"]
+        flush_now = state["flush_now"]
+        flush_next = state["flush_next"]
+        output = state["output"]
+        budget = state["budget"]
+        messages = state["messages"]
+        phases = state["phases"]
+
+        # Archive (in full batch order) that finished trials scatter into.
+        final = self._batch_state(inputs)
+        orig = np.arange(batch0)
+        rngs = list(rngs)
+        draw_fns = [rng.integers for rng in rngs]
+        dealer_seeds = list(self.dealer_seeds) if self.dealer_seeds is not None else None
+        pending_any = False  # does flush_next hold any scheduled flush?
+
+        def archive(rows: np.ndarray) -> None:
+            where = orig[rows]
+            final["value"][where] = value[rows]
+            final["corrupted"][where] = corrupted[rows]
+            final["active"][where] = active[rows]
+            final["output"][where] = output[rows]
+            final["messages"][where] = messages[rows]
+            final["phases"][where] = phases[rows]
+
+        def context(phase: int, start: int, stop: int, running: np.ndarray) -> KernelContext:
+            return KernelContext(
+                n=n, t=t, params=self.params, phase=phase,
+                committee_start=start, committee_stop=stop,
+                value=value, decided=decided, active=active,
+                corrupted=corrupted, can_update=can_update,
+                budget=budget, messages=messages, running=running,
+                rngs=rngs, coin=self.coin,
+            )
+
+        kernel.setup(context(0, 0, 0, np.ones(batch0, dtype=bool)))
+
+        for phase in range(1, phase_cap + 1):
+            sender_count = row_popcount(active)
+            running = sender_count > 0
+            live = int(np.count_nonzero(running))
+            if live == 0:
+                break
+            if self.compaction and live <= int(_COMPACTION_THRESHOLD * len(orig)):
+                # Compact: archive finished trials and drop their rows.
+                archive(np.flatnonzero(~running))
+                keep = np.flatnonzero(running)
+                value = value[keep]
+                decided = decided[keep]
+                corrupted = corrupted[keep]
+                active = active[keep]
+                can_update = can_update[keep]
+                flush_now = flush_now[keep]
+                flush_next = flush_next[keep]
+                output = output[keep]
+                budget = budget[keep]
+                messages = messages[keep]
+                phases = phases[keep]
+                sender_count = sender_count[keep]
+                orig = orig[keep]
+                rngs = [rngs[i] for i in keep]
+                draw_fns = [draw_fns[i] for i in keep]
+                if dealer_seeds is not None:
+                    dealer_seeds = [dealer_seeds[i] for i in keep]
+                kernel.compact(keep)
+                running = np.ones(live, dtype=bool)
+            # Promote last phase's flush schedule; the plane freed by the
+            # swap is reused for this phase's schedule.  Stale bits from two
+            # phases ago are harmless (their nodes already left `active`).
+            flush_now, flush_next = flush_next, flush_now
+            finishing_due = pending_any
+            if finishing_due:
+                flush_next[:] = False
+            phases[running] = phase
+
+            start, stop = self._committee_slice(phase)
+            ctx = context(phase, start, stop, running)
+
+            # ---------------- Round 1 ----------------
+            ones_pre = row_popcount(value & active)
+            effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
+            if ctx.mutated:
+                # The kernel corrupted mid-round; the victims' honest
+                # broadcasts are discarded, so honest tallies are recomputed.
+                sender_count = row_popcount(active)
+                ones_honest = row_popcount(value & active)
+                ctx.mutated = False
+            else:
+                ones_honest = ones_pre
+            messages[running] += sender_count[running] * n
+            ones = ones_honest[:, None] + np.asarray(effect1.ones)
+            zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+            updatable = active & can_update
+            quorum1 = ones >= quorum
+            quorum0 = ~quorum1 & (zeros >= quorum)
+            quorum_any = quorum1 | quorum0
+            if quorum_any.any():
+                value ^= (value ^ quorum1) & (updatable & quorum_any)
+            decided ^= (decided ^ quorum_any) & updatable
+
+            # ---------------- Round 2 ----------------
+            # Non-rushing committee corruption happens before the flips exist.
+            kernel.pre_coin(ctx)
+            if ctx.mutated:
+                sender_count = row_popcount(active)
+                updatable = active & can_update
+                ctx.mutated = False
+            messages[running] += sender_count[running] * n
+            decided_senders = active & decided
+            d1_honest = row_popcount(value & decided_senders)
+            d0_honest = row_popcount(decided_senders) - d1_honest
+
+            # Share draws: always for the committee coin; lazily for the
+            # others, only when a share-hungry kernel can reach the coin case
+            # this phase (the honest tallies decide, since the kernel has not
+            # spoken yet) — preserving the skeleton's historical per-trial
+            # draw schedule bit for bit.
+            shares = None
+            if self.coin == "committee":
+                shares = draw_committee_shares(draw_fns, running, active[:, start:stop])
+            elif kernel.needs_shares:
+                assigned_honest = (
+                    (d1_honest >= quorum) | (d0_honest >= quorum)
+                    | (d1_honest >= t + 1) | (d0_honest >= t + 1)
+                )
+                if (running & ~assigned_honest).any():
+                    shares = draw_committee_shares(
+                        draw_fns, running, active[:, start:stop]
+                    )
+            if shares is not None:
+                honest_sum = shares.sum(axis=1, dtype=np.int64)
+                if kernel.needs_shares:
+                    ctx.shares = shares
+            else:
+                honest_sum = np.zeros(len(orig), dtype=np.int64)
+            effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
+            ctx.shares = None
+            if ctx.mutated:
+                updatable = active & can_update
+                ctx.mutated = False
+
+            d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
+            d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
+            reach_q1 = d1 >= quorum
+            reach_q0 = d0 >= quorum
+            # `_best_value_reaching` tie-breaking (highest count wins, value 1
+            # on ties) — it matters once an equivocating kernel pushes *both*
+            # values past a threshold for some recipients.
+            finish1 = reach_q1 & (~reach_q0 | (d1 >= d0))
+            finish0 = reach_q0 & ~finish1
+            finish_any = finish1 | finish0
+            reach1 = d1 >= t + 1
+            reach0 = d0 >= t + 1
+            adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
+            adopt0 = ~finish_any & reach0 & ~adopt1
+            coin_case = ~finish_any & ~adopt1 & ~adopt0
+
+            assigned_any = finish_any | adopt1 | adopt0
+            if assigned_any.any():
+                value ^= (value ^ (finish1 | adopt1)) & (updatable & assigned_any)
+                decided |= updatable & assigned_any
+            if finish_any.any():
+                flush_mask = updatable & finish_any
+                flush_next |= flush_mask
+                can_update ^= flush_mask  # flush_mask is a subset of can_update
+                pending_any = True
+            else:
+                pending_any = False
+
+            # ---------------- The phase coin ----------------
+            coin_mask = updatable & coin_case
+            if self.coin == "committee":
+                adj = np.asarray(effect2.shares)
+                if adj.ndim:
+                    # Work in the kernel's (narrower) adjustment dtype.
+                    coin = (honest_sum.astype(adj.dtype)[:, None] + adj) >= 0
+                else:
+                    coin = (honest_sum[:, None] + adj) >= 0
+                value ^= (value ^ coin) & coin_mask
+            else:
+                need = running & coin_case.any(axis=1)
+                if need.any():
+                    if self.coin == "dealer":
+                        from repro.baselines.rabin import dealer_coin_bit
+
+                        assert dealer_seeds is not None
+                        coin_rows = np.zeros(len(orig), dtype=bool)
+                        for b in np.flatnonzero(need):
+                            coin_rows[b] = bool(dealer_coin_bit(dealer_seeds[b], phase))
+                        value ^= (value ^ coin_rows[:, None]) & coin_mask
+                    else:  # private
+                        coin_plane = np.zeros((len(orig), n), dtype=bool)
+                        for b in np.flatnonzero(need):
+                            coin_plane[b] = draw_fns[b](0, 2, size=n).astype(bool)
+                        value ^= (value ^ coin_plane) & coin_mask
+            decided &= ~coin_mask
+
+            # Flush-phase terminations (nodes finishing this phase).
+            if finishing_due:
+                finishing = active & flush_now
+                output ^= (output ^ value) & finishing
+                active ^= finishing  # finishing is a subset of active
+
+            # Bounded variant: decide by exhaustion after the last phase.
+            if not self.las_vegas and phase >= self.num_phases:
+                output ^= (output ^ value) & active
+                active[:] = False
+
+        archive(np.arange(len(orig)))
+        timed_out = final["active"].any(axis=1)
+        # Treat unfinished honest nodes' current value as their output so
+        # that agreement/validity can still be evaluated.
+        final["output"] ^= (final["output"] ^ final["value"]) & final["active"]
+        return {
+            "output": final["output"],
+            "corrupted": final["corrupted"],
+            "messages": final["messages"],
+            "phases": final["phases"],
+            "rounds": 2 * final["phases"],
+            "timed_out": timed_out,
+        }

@@ -5,48 +5,24 @@ message individually, which is faithful but quadratic-per-round in Python; at
 ``n`` in the thousands a single run of the paper's protocol under attack takes
 minutes.  The benchmark sweeps (experiments E1, E3, E4, E5) therefore use this
 vectorised engine, which simulates the *same* protocols — Algorithm 3 (bounded
-or Las Vegas) and the Chor–Coan baseline — under the adversary behaviours
-that matter for the round- and message-complexity claims:
+or Las Vegas) and the Chor–Coan baseline — under every registered adversary
+strategy.
 
-* ``"none"``   — no corruption (failure-free runs);
-* ``"straddle"`` — the greedy rushing coin attack of
-  :class:`repro.adversary.strategies.coin_attack.CoinAttackAdversary`:
-  silent in round 1, and in round 2 it corrupts just enough same-sign
-  committee members to make half the honest nodes read the coin as 1 and the
-  other half as 0, until its budget runs out;
-* ``"silent"`` — the crash-at-start baseline of
-  :class:`repro.adversary.strategies.silence.SilentAdversary`: the first
-  ``min(t, n)`` nodes are corrupted before round 1 and never send again;
-* ``"crash"`` — the adaptive rushing crash attack of
-  :class:`repro.adversary.strategies.crash.AdaptiveCrashAdversary`: crash
-  just enough same-sign committee members mid-broadcast that the recipients
-  who miss the final shares compute the opposite coin;
-* ``"random-noise"`` — the babbling faults of
-  :class:`repro.adversary.strategies.random_noise.RandomNoiseAdversary`:
-  ``min(t, n)`` nodes send independently random per-recipient values,
-  ``decided`` flags and coin shares every round;
-* ``"static"`` / ``"equivocate"`` / ``"committee-targeting"`` — the
-  remaining strategies of :mod:`repro.adversary`, served by the pluggable
-  adversary plane kernels of :mod:`repro.adversary.kernels` (the static
-  half-splitting equivocator, the adaptive vote-splitting equivocator and
-  the non-rushing committee pre-corruption attack).
-
-For ``none``/``straddle``/``silent``/``crash`` the engine exploits the fact
-that every honest node receives the *same* multiset of round-1/round-2
-announcements (only the coin is per-recipient), so per-recipient message
-matrices never need to be materialised: one pass over aggregate counters per
-round reproduces the exact state evolution of the object simulator.  The
-``random-noise`` behaviour is genuinely per-recipient, so its path draws the
-aggregate noise each recipient sees (binomial/multinomial counts) instead of
-materialising per-sender messages.  The plane-kernel behaviours are also
-per-recipient, but *deliberately* so: an
-:class:`~repro.adversary.kernels.base.AdversaryKernel` chooses additive
-announcement planes and adaptive corruptions per phase, and the engine runs
-them through the same per-recipient threshold logic as the noise path
-(:meth:`VectorizedAgreementSimulator._run_batch_planes`).
+Batched execution runs on the shared hook-driven plane engine
+(:class:`repro.simulator.phase_engine.PhaseEngine`): the engine owns the
+honest protocol — tallies, thresholds, committee share draws, flush
+bookkeeping, live-trial compaction — and delegates every Byzantine decision
+to a pluggable :class:`~repro.adversary.kernels.base.AdversaryKernel` through
+four hooks per phase (``setup`` once, then ``round1`` / ``pre_coin`` /
+``round2``).  The behaviour names in :data:`VECTORIZED_ADVERSARIES` map
+one-to-one onto the kernels of
+:data:`repro.adversary.kernels.ADVERSARY_PLANE_KERNELS`; see
+:mod:`repro.adversary.kernels` for what each strategy does and how it is
+validated against the object simulator.
 
 Two entry points are provided: :meth:`VectorizedAgreementSimulator.run`
-executes one trial on 1-D arrays (the reference implementation), and
+executes one trial on 1-D arrays (the reference implementation, kept for the
+``none`` and ``straddle`` behaviours), and
 :meth:`VectorizedAgreementSimulator.run_batch` executes a whole batch of
 ``B`` trials simultaneously on 2-D ``(B, n)`` arrays.  For the ``none`` and
 ``straddle`` behaviours the two are bit-for-bit identical given the same
@@ -63,33 +39,47 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.chor_coan import chor_coan_parameters
+from repro.adversary.kernels import ADVERSARY_PLANE_KERNELS, build_adversary_kernel
+from repro.adversary.kernels.capabilities import (
+    COMMITTEE,
+    CORRUPT_ADAPTIVE,
+    CORRUPT_STATIC,
+    RNG,
+    ROUND1_VALUES,
+    ROUND2_RECORDS,
+    SHARES_BROADCAST,
+)
+from repro.core.inputs import input_row
 from repro.core.parameters import ProtocolParameters, validate_n_t
 from repro.exceptions import ConfigurationError
-from repro.simulator.bitplanes import lower_half_split, row_popcount
+from repro.simulator.phase_engine import PhaseEngine, finalize_planes
 
 #: CONGEST cost (bits) of the round-1 and round-2 payloads, kept consistent
 #: with repro.simulator.messages.ValueAnnouncement / CombinedAnnouncement.
 _ROUND_PAYLOAD_BITS = 35
 
-#: Behaviours served by the pluggable adversary plane kernels
-#: (:mod:`repro.adversary.kernels`) rather than a dedicated engine loop.
-_PLANE_KERNEL_ADVERSARIES = ("static", "equivocate", "committee-targeting")
-
-#: Adversary behaviours the vectorised engine can simulate.
+#: Adversary behaviours the vectorised engine can simulate — exactly the
+#: plane-kernel registry.
 VECTORIZED_ADVERSARIES = (
     "none", "straddle", "silent", "crash", "random-noise",
-) + _PLANE_KERNEL_ADVERSARIES
+    "static", "equivocate", "committee-targeting",
+)
+assert set(VECTORIZED_ADVERSARIES) == set(ADVERSARY_PLANE_KERNELS)
 
-#: Behaviours under which every honest node sees the same announcement
-#: multiset, enabling the aggregate-counter fast path.
-_UNIFORM_ADVERSARIES = ("none", "straddle", "silent", "crash")
-
-
-#: Plane primitives shared with the baseline and adversary kernels; the
-#: module-private aliases are kept for this engine's internal call sites.
-_row_popcount = row_popcount
-_lower_half_split = lower_half_split
+#: Adversary hook surface of the committee engine — the full vocabulary:
+#: both announcement channels, rushing share observation, the rotating
+#: designated committee and the per-trial generators.
+COMMITTEE_ENGINE_HOOKS = frozenset(
+    {
+        CORRUPT_STATIC,
+        CORRUPT_ADAPTIVE,
+        ROUND1_VALUES,
+        ROUND2_RECORDS,
+        SHARES_BROADCAST,
+        COMMITTEE,
+        RNG,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -322,6 +312,11 @@ class VectorizedAgreementSimulator:
                 behaviours the per-trial results are bit-for-bit identical to
                 ``[self.run(inputs[b], rngs[b]) for b in range(B)]``.
 
+        The batch runs on the shared hook-driven
+        :class:`~repro.simulator.phase_engine.PhaseEngine` with the committee
+        coin and the behaviour's adversary plane kernel; per-trial results
+        are independent of how trials are batched together.
+
         Returns:
             One :class:`VectorizedRunResult` per trial, in batch order.
         """
@@ -336,596 +331,48 @@ class VectorizedAgreementSimulator:
             )
         if inputs.shape[0] == 0:
             return []
-        if self.adversary in _UNIFORM_ADVERSARIES:
-            return self._run_batch_uniform(inputs, rngs)
-        if self.adversary in _PLANE_KERNEL_ADVERSARIES:
-            return self._run_batch_planes(inputs, rngs)
-        return self._run_batch_noise(inputs, rngs)
-
-    def _batch_state(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
-        """Allocate the 2-D per-trial state arrays.
-
-        Everything per-node is a boolean plane: values (the protocol is
-        binary), liveness and flush bookkeeping.  All updates are expressed as
-        boolean algebra (``a ^= (a ^ new) & mask`` style blends) because NumPy
-        masked writes cost ~100x more than elementwise and/or/xor passes at
-        this shape; row tallies use byte-packing + popcount for the same
-        reason.  ``active`` (honest and not yet terminated) is maintained
-        incrementally — cleared on corruption and termination — so the honest
-        unfinished nodes at the end are exactly the active ones.  A flush
-        phase always ends one phase after it was scheduled, so flush tracking
-        needs only two planes (``flush_next`` set during the current phase,
-        promoted to ``flush_now`` at the next phase top) instead of an
-        integer phase array.
-        """
-        batch, n = inputs.shape
-        return {
-            "value": inputs.astype(bool),
-            "decided": np.zeros((batch, n), dtype=bool),
-            "corrupted": np.zeros((batch, n), dtype=bool),
-            "active": np.ones((batch, n), dtype=bool),
-            "can_update": np.ones((batch, n), dtype=bool),
-            "flush_now": np.zeros((batch, n), dtype=bool),
-            "flush_next": np.zeros((batch, n), dtype=bool),
-            "output": np.zeros((batch, n), dtype=bool),
-            "budget": np.full(batch, self.t, dtype=np.int64),
-            "messages": np.zeros(batch, dtype=np.int64),
-            "phases": np.zeros(batch, dtype=np.int64),
-        }
-
-    @staticmethod
-    def _draw_committee_shares(
-        draw_fns: Sequence,
-        running: np.ndarray,
-        committee_active: np.ndarray,
-    ) -> np.ndarray:
-        """Per-trial fresh ±1 shares for the active committee members.
-
-        One ``integers(0, 2, size=count)`` call per running trial — the same
-        calls, in the same order, as the single-trial path, so the consumed
-        bit streams are identical.  The raw draws are concatenated and
-        scattered in a single vectorised pass: boolean-mask assignment walks
-        the mask in row-major order, which is exactly the concatenation order
-        (non-running trials have all-False committee rows and draw nothing).
-        """
-        batch, width = committee_active.shape
-        shares = np.zeros((batch, width), dtype=np.int8)
-        counts = np.count_nonzero(committee_active, axis=1)
-        draws = [
-            draw_fns[b](0, 2, size=int(counts[b]))
-            for b in range(batch)
-            if running[b]
-        ]
-        if draws:
-            flat = np.concatenate(draws).astype(np.int8)
-            shares[committee_active] = (flat << 1) - 1
-        return shares
-
-    def _run_batch_uniform(
-        self, inputs: np.ndarray, rngs: Sequence[np.random.Generator]
-    ) -> list[VectorizedRunResult]:
-        """Batched path for the same-multiset behaviours (no per-recipient noise).
-
-        Trials that have fully terminated are compacted out of the working
-        arrays (their rows are archived first), so late phases only pay for
-        the trials still running.
-        """
-        batch0, _ = inputs.shape
-        n, t = self.n, self.t
-        quorum = n - t
-        committee_size = self.params.committee_size
-        num_committees = max(1, math.ceil(n / committee_size))
-        phase_cap = self.max_phases if self.las_vegas else self.params.num_phases
-        assert phase_cap is not None
-        straddle = self.adversary == "straddle"
-        crash = self.adversary == "crash"
-
-        state = self._batch_state(inputs)
-        value = state["value"]
-        decided = state["decided"]
-        corrupted = state["corrupted"]
-        active = state["active"]
-        can_update = state["can_update"]
-        flush_now = state["flush_now"]
-        flush_next = state["flush_next"]
-        output = state["output"]
-        budget = state["budget"]
-        messages = state["messages"]
-        phases = state["phases"]
-        if self.adversary == "silent":
-            # Crash-at-start: the whole budget is spent before round 1.
-            corrupted[:, : min(t, n)] = True
-            active[:, : min(t, n)] = False
-            budget[:] = 0
-
-        # Archive (in full batch order) that finished trials scatter into.
-        final = self._batch_state(inputs)
-        orig = np.arange(batch0)
-        draw_fns = [rng.integers for rng in rngs]
-        pending_any = False  # does flush_next hold any scheduled flush?
-
-        def archive(rows: np.ndarray) -> None:
-            where = orig[rows]
-            final["value"][where] = value[rows]
-            final["corrupted"][where] = corrupted[rows]
-            final["active"][where] = active[rows]
-            final["output"][where] = output[rows]
-            final["messages"][where] = messages[rows]
-            final["phases"][where] = phases[rows]
-
-        for phase in range(1, phase_cap + 1):
-            sender_count = _row_popcount(active)
-            running = sender_count > 0
-            live = int(np.count_nonzero(running))
-            if live == 0:
-                break
-            if live <= int(0.75 * len(orig)):
-                # Compact: archive finished trials and drop their rows.
-                archive(np.flatnonzero(~running))
-                keep = np.flatnonzero(running)
-                value = value[keep]
-                decided = decided[keep]
-                corrupted = corrupted[keep]
-                active = active[keep]
-                can_update = can_update[keep]
-                flush_now = flush_now[keep]
-                flush_next = flush_next[keep]
-                output = output[keep]
-                budget = budget[keep]
-                messages = messages[keep]
-                phases = phases[keep]
-                sender_count = sender_count[keep]
-                orig = orig[keep]
-                draw_fns = [draw_fns[i] for i in keep]
-                running = np.ones(live, dtype=bool)
-            # Promote last phase's flush schedule; the plane freed by the
-            # swap is reused for this phase's schedule.
-            flush_now, flush_next = flush_next, flush_now
-            finishing_due = pending_any
-            if finishing_due:
-                flush_next[:] = False
-            phases[running] = phase
-            updatable = active & can_update
-            # Both rounds broadcast the same sender set; count them together.
-            messages[running] += 2 * sender_count[running] * n
-
-            # ---------------- Round 1 ----------------
-            ones = _row_popcount(value & active)
-            zeros = sender_count - ones
-            quorum1 = ones >= quorum
-            quorum_any = quorum1 | (zeros >= quorum)
-            if quorum_any.any():
-                value ^= (value ^ quorum1[:, None]) & (updatable & quorum_any[:, None])
-            decided ^= (decided ^ quorum_any[:, None]) & updatable
-
-            # ---------------- Round 2 ----------------
-            decided_senders = active & decided
-            d1 = _row_popcount(value & decided_senders)
-            d0 = _row_popcount(decided_senders) - d1
-
-            committee_index = (phase - 1) % num_committees
-            start = committee_index * committee_size
-            stop = min(n, start + committee_size)
-            committee_active = active[:, start:stop]
-            shares = self._draw_committee_shares(draw_fns, running, committee_active)
-            honest_sum = shares.sum(axis=1)
-
-            finish1 = d1 >= quorum
-            finish0 = ~finish1 & (d0 >= quorum)
-            finish_any = finish1 | finish0
-            adopt1 = ~finish_any & (d1 >= t + 1)
-            adopt0 = ~finish_any & ~adopt1 & (d0 >= t + 1)
-            assigned = finish_any | adopt1 | adopt0
-            case3 = running & ~assigned
-
-            spoiled = np.zeros(len(orig), dtype=bool)
-            needed = controlled = None
-            if (straddle or crash) and case3.any():
-                controlled = np.count_nonzero(corrupted[:, start:stop], axis=1)
-                sign = np.where(honest_sum >= 0, 1, -1).astype(np.int8)
-                if straddle:
-                    # Fresh same-sign corruptions needed for a Byzantine
-                    # straddle: ceil((|S| - controlled [+ 1 if S >= 0]) / 2).
-                    raw = np.where(
-                        honest_sum >= 0,
-                        honest_sum - controlled + 1,
-                        -honest_sum - controlled,
-                    )
-                    needed = np.maximum(0, -((-raw) // 2))
-                    attackable = case3 & (budget > 0)
-                else:
-                    # Crashing only removes shares, so flipping the starved
-                    # recipients' sign costs |S| + 1 (or |S| for S < 0).
-                    needed = np.where(honest_sum >= 0, honest_sum + 1, -honest_sum)
-                    attackable = case3
-                same_sign = committee_active & (shares == sign[:, None])
-                available = np.count_nonzero(same_sign, axis=1)
-                spoiled = attackable & (needed <= budget) & (needed <= available)
-                if spoiled.any():
-                    rank_c = same_sign.cumsum(axis=1, dtype=np.int32)
-                    new_corrupt = (
-                        same_sign & (rank_c <= needed[:, None]) & spoiled[:, None]
-                    )
-                    corrupted[:, start:stop] |= new_corrupt
-                    active[:, start:stop] &= ~new_corrupt
-                    budget[spoiled] -= needed[spoiled]
-
-            # Case 1/2 (finish/adopt) and the un-spoiled common coin share one
-            # blended update: per trial the new value and decided flag are
-            # scalars, and the spoiled trials are excluded from both.
-            plain = case3 & ~spoiled
-            uniform_rows = assigned | plain
-            if uniform_rows.any():
-                new_value = np.where(assigned, finish1 | adopt1, honest_sum >= 0)
-                blend_mask = updatable & uniform_rows[:, None]
-                value ^= (value ^ new_value[:, None]) & blend_mask
-                decided ^= (decided ^ assigned[:, None]) & blend_mask
-            if finish_any.any():
-                flush_mask = updatable & finish_any[:, None]
-                flush_next |= flush_mask
-                can_update ^= flush_mask  # flush_mask is a subset of can_update
-                pending_any = True
-            else:
-                pending_any = False
-
-            spoiled_rows = np.flatnonzero(spoiled)
-            if spoiled_rows.size == len(orig):
-                # Every trial spoiled: operate in place, no row gathers.
-                recipients = active & can_update
-                lower, half = _lower_half_split(recipients)
-                if straddle:
-                    # Adversary round-2 traffic: controlled members to all honest.
-                    messages += (controlled + needed) * _row_popcount(active)
-                    value |= recipients
-                    value &= ~lower
-                else:
-                    # Crashed members deliver their final payload to the lower
-                    # half only; the starved half computes the flipped coin.
-                    messages += needed * half
-                    kept = honest_sum >= 0
-                    coin_bits = np.where(kept[:, None], lower, recipients & ~lower)
-                    value &= ~recipients
-                    value |= coin_bits
-                decided &= ~recipients
-            elif spoiled_rows.size:
-                # Work on the spoiled subset only; the "first half of the
-                # recipients" split runs on packed bytes + a prefix-bit LUT.
-                recipients = active[spoiled_rows] & can_update[spoiled_rows]
-                lower, half = _lower_half_split(recipients)
-                if straddle:
-                    messages[spoiled_rows] += (controlled + needed)[
-                        spoiled_rows
-                    ] * _row_popcount(active[spoiled_rows])
-                    value[spoiled_rows] = (value[spoiled_rows] | recipients) & ~lower
-                else:
-                    messages[spoiled_rows] += needed[spoiled_rows] * half
-                    kept = (honest_sum >= 0)[spoiled_rows]
-                    coin_bits = np.where(kept[:, None], lower, recipients & ~lower)
-                    value[spoiled_rows] = (value[spoiled_rows] & ~recipients) | coin_bits
-                decided[spoiled_rows] = decided[spoiled_rows] & ~recipients
-
-            # Flush-phase terminations (nodes finishing this phase).
-            if finishing_due:
-                finishing = active & flush_now
-                output ^= (output ^ value) & finishing
-                active ^= finishing  # finishing is a subset of active
-
-            # Bounded variant: decide by exhaustion after the last phase.
-            if not self.las_vegas and phase >= self.params.num_phases:
-                output ^= (output ^ value) & active
-                active[:] = False
-
-        archive(np.arange(len(orig)))
-        return self._finalize_batch(inputs, final)
-
-    def _run_batch_noise(
-        self, inputs: np.ndarray, rngs: Sequence[np.random.Generator]
-    ) -> list[VectorizedRunResult]:
-        """Batched path for the per-recipient ``random-noise`` behaviour.
-
-        Rather than materialising per-sender random messages, each recipient's
-        view is sampled directly: the number of noisy round-1 ones it sees is
-        ``Binomial(m, 1/2)``, its noisy ``(decided, value)`` round-2 records
-        are ``Multinomial(m, [1/4, 1/4, 1/2])`` and the noisy committee
-        members' share contribution is ``2 * Binomial(m_c, 1/2) - m_c`` —
-        exactly the aggregate distributions induced by
-        :class:`~repro.adversary.strategies.random_noise.RandomNoiseAdversary`.
-        """
-        batch, _ = inputs.shape
-        n, t = self.n, self.t
-        noisy = min(t, n)
-        committee_size = self.params.committee_size
-        num_committees = max(1, math.ceil(n / committee_size))
-        phase_cap = self.max_phases if self.las_vegas else self.params.num_phases
-        assert phase_cap is not None
-
-        state = self._batch_state(inputs)
-        value = state["value"]
-        decided = state["decided"]
-        corrupted = state["corrupted"]
-        active = state["active"]
-        can_update = state["can_update"]
-        flush_now = state["flush_now"]
-        flush_next = state["flush_next"]
-        output = state["output"]
-        messages = state["messages"]
-        phases = state["phases"]
-        corrupted[:, :noisy] = True
-        active[:, :noisy] = False
-        draw_fns = [rng.integers for rng in rngs]
-
-        noise_probs = (0.25, 0.25, 0.5)
-        for phase in range(1, phase_cap + 1):
-            sender_count = _row_popcount(active)
-            running = sender_count > 0
-            if not running.any():
-                break
-            flush_now, flush_next = flush_next, flush_now
-            flush_next[:] = False
-            phases[running] = phase
-            updatable = active & can_update
-
-            # ---------------- Round 1 ----------------
-            messages[running] += sender_count[running] * n + noisy * (n - noisy)
-            honest_ones = _row_popcount(value & active)
-            noise_ones = np.zeros((batch, n), dtype=np.int64)
-            for b in range(batch):
-                if running[b]:
-                    noise_ones[b] = rngs[b].binomial(noisy, 0.5, size=n)
-            ones = honest_ones[:, None] + noise_ones
-            zeros = (sender_count + noisy)[:, None] - ones
-            quorum1 = ones >= n - t
-            quorum0 = ~quorum1 & (zeros >= n - t)
-            value |= updatable & quorum1
-            value &= ~(updatable & quorum0)
-            decided ^= (decided ^ (quorum1 | quorum0)) & updatable
-
-            # ---------------- Round 2 ----------------
-            messages[running] += sender_count[running] * n + noisy * (n - noisy)
-            decided_senders = active & decided
-            honest_d1 = _row_popcount(value & decided_senders)
-            honest_d0 = _row_popcount(decided_senders) - honest_d1
-
-            committee_index = (phase - 1) % num_committees
-            start = committee_index * committee_size
-            stop = min(n, start + committee_size)
-            committee_active = active[:, start:stop]
-            shares = self._draw_committee_shares(draw_fns, running, committee_active)
-            honest_sum = shares.sum(axis=1)
-            noisy_in_committee = max(0, min(stop, noisy) - start)
-
-            noise_d1 = np.zeros((batch, n), dtype=np.int64)
-            noise_d0 = np.zeros((batch, n), dtype=np.int64)
-            share_noise = np.zeros((batch, n), dtype=np.int64)
-            for b in range(batch):
-                if not running[b]:
-                    continue
-                records = rngs[b].multinomial(noisy, noise_probs, size=n)
-                noise_d1[b] = records[:, 0]
-                noise_d0[b] = records[:, 1]
-                if noisy_in_committee:
-                    share_noise[b] = (
-                        2 * rngs[b].binomial(noisy_in_committee, 0.5, size=n)
-                        - noisy_in_committee
-                    )
-            d1 = honest_d1[:, None] + noise_d1
-            d0 = honest_d0[:, None] + noise_d0
-
-            finish1 = d1 >= n - t
-            finish0 = ~finish1 & (d0 >= n - t)
-            finish_any = finish1 | finish0
-            reach1 = d1 >= t + 1
-            reach0 = d0 >= t + 1
-            adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
-            adopt0 = ~finish_any & reach0 & ~adopt1
-            coin_case = ~finish_any & ~adopt1 & ~adopt0
-
-            flush_mask = updatable & finish_any
-            value |= updatable & (finish1 | adopt1)
-            value &= ~(updatable & (finish0 | adopt0))
-            decided |= updatable & (finish_any | adopt1 | adopt0)
-            flush_next |= flush_mask
-            can_update ^= flush_mask  # flush_mask is a subset of can_update
-            coin = (honest_sum[:, None] + share_noise) >= 0
-            coin_mask = updatable & coin_case
-            value ^= (value ^ coin) & coin_mask
-            decided &= ~coin_mask
-
-            finishing = active & flush_now
-            output ^= (output ^ value) & finishing
-            active ^= finishing  # finishing is a subset of active
-
-            if not self.las_vegas and phase >= self.params.num_phases:
-                output ^= (output ^ value) & active
-                active[:] = False
-
-        return self._finalize_batch(inputs, state)
-
-    def _run_batch_planes(
-        self, inputs: np.ndarray, rngs: Sequence[np.random.Generator]
-    ) -> list[VectorizedRunResult]:
-        """Batched path driven by a pluggable adversary plane kernel.
-
-        The engine owns the honest protocol — tallies, thresholds, flush
-        bookkeeping, committee share draws — and delegates every Byzantine
-        decision to an :class:`~repro.adversary.kernels.base.AdversaryKernel`
-        through four hooks per phase (``setup`` once, then ``round1`` /
-        ``pre_coin`` / ``round2``).  The kernel's additive announcement
-        planes enter the same per-recipient threshold logic the
-        ``random-noise`` path uses, but here the planes are *chosen* by the
-        strategy rather than sampled, and corruptions mutate the shared
-        ``corrupted``/``active``/``budget`` state mid-phase exactly like the
-        object scheduler replacing a freshly corrupted node's broadcast.
-
-        The round-2 case analysis reproduces the object node's
-        ``_best_value_reaching`` tie-breaking (highest count wins, value 1 on
-        ties), which matters once an equivocating kernel can push *both*
-        values past the ``t + 1`` threshold for some recipients.
-        """
-        from repro.adversary.kernels import KernelContext, build_adversary_kernel
-
-        batch, _ = inputs.shape
-        n, t = self.n, self.t
-        quorum = n - t
-        committee_size = self.params.committee_size
-        num_committees = max(1, math.ceil(n / committee_size))
-        phase_cap = self.max_phases if self.las_vegas else self.params.num_phases
-        assert phase_cap is not None
-
-        state = self._batch_state(inputs)
-        value = state["value"]
-        decided = state["decided"]
-        corrupted = state["corrupted"]
-        active = state["active"]
-        can_update = state["can_update"]
-        flush_now = state["flush_now"]
-        flush_next = state["flush_next"]
-        output = state["output"]
-        budget = state["budget"]
-        messages = state["messages"]
-        phases = state["phases"]
-        draw_fns = [rng.integers for rng in rngs]
-        kernel = build_adversary_kernel(self.adversary, n=n, t=t, params=self.params)
-
-        def context(phase: int, start: int, stop: int, running: np.ndarray) -> KernelContext:
-            return KernelContext(
-                n=n, t=t, params=self.params, phase=phase,
-                committee_start=start, committee_stop=stop,
-                value=value, decided=decided, active=active,
-                corrupted=corrupted, can_update=can_update,
-                budget=budget, messages=messages, running=running,
-            )
-
-        kernel.setup(context(0, 0, 0, np.ones(batch, dtype=bool)))
-
-        for phase in range(1, phase_cap + 1):
-            sender_count = _row_popcount(active)
-            running = sender_count > 0
-            if not running.any():
-                break
-            flush_now, flush_next = flush_next, flush_now
-            flush_next[:] = False
-            phases[running] = phase
-
-            committee_index = (phase - 1) % num_committees
-            start = committee_index * committee_size
-            stop = min(n, start + committee_size)
-            ctx = context(phase, start, stop, running)
-
-            # ---------------- Round 1 ----------------
-            ones_pre = _row_popcount(value & active)
-            effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
-            # The kernel may have corrupted mid-round; the victims' honest
-            # broadcasts are discarded, so honest tallies are recomputed.
-            sender_count = _row_popcount(active)
-            ones_honest = _row_popcount(value & active)
-            messages[running] += sender_count[running] * n
-            ones = ones_honest[:, None] + np.asarray(effect1.ones)
-            zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
-            updatable = active & can_update
-            quorum1 = ones >= quorum
-            quorum0 = ~quorum1 & (zeros >= quorum)
-            value |= updatable & quorum1
-            value &= ~(updatable & quorum0)
-            decided ^= (decided ^ (quorum1 | quorum0)) & updatable
-
-            # ---------------- Round 2 ----------------
-            # Non-rushing committee corruption happens before the flips exist.
-            kernel.pre_coin(ctx)
-            sender_count = _row_popcount(active)
-            messages[running] += sender_count[running] * n
-            committee_active = active[:, start:stop]
-            shares = self._draw_committee_shares(draw_fns, running, committee_active)
-            honest_sum = shares.sum(axis=1)
-            decided_senders = active & decided
-            d1_honest = _row_popcount(value & decided_senders)
-            d0_honest = _row_popcount(decided_senders) - d1_honest
-            effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
-
-            d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
-            d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
-            finish1 = d1 >= quorum
-            finish0 = ~finish1 & (d0 >= quorum)
-            finish_any = finish1 | finish0
-            reach1 = d1 >= t + 1
-            reach0 = d0 >= t + 1
-            adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
-            adopt0 = ~finish_any & reach0 & ~adopt1
-            coin_case = ~finish_any & ~adopt1 & ~adopt0
-
-            updatable = active & can_update
-            flush_mask = updatable & finish_any
-            value |= updatable & (finish1 | adopt1)
-            value &= ~(updatable & (finish0 | adopt0))
-            decided |= updatable & (finish_any | adopt1 | adopt0)
-            flush_next |= flush_mask
-            can_update ^= flush_mask  # flush_mask is a subset of can_update
-            coin = (honest_sum[:, None] + np.asarray(effect2.shares)) >= 0
-            coin_mask = updatable & coin_case
-            value ^= (value ^ coin) & coin_mask
-            decided &= ~coin_mask
-
-            # Flush-phase terminations (nodes finishing this phase).
-            finishing = active & flush_now
-            output ^= (output ^ value) & finishing
-            active ^= finishing  # finishing is a subset of active
-
-            # Bounded variant: decide by exhaustion after the last phase.
-            if not self.las_vegas and phase >= self.params.num_phases:
-                output ^= (output ^ value) & active
-                active[:] = False
-
-        return self._finalize_batch(inputs, state)
-
-    def _finalize_batch(
-        self, inputs: np.ndarray, state: dict[str, np.ndarray]
-    ) -> list[VectorizedRunResult]:
-        """Evaluate agreement/validity per trial and build the result list."""
-        n, t = self.n, self.t
-        value = state["value"]
-        corrupted = state["corrupted"]
-        active = state["active"]
-        output = state["output"]
-        messages = state["messages"]
-        phases = state["phases"]
-
-        honest = ~corrupted
-        timed_out = active.any(axis=1)
-        # Treat unfinished honest nodes' current value as their output so that
-        # agreement/validity can still be evaluated.
-        output ^= (output ^ value) & active
-
-        honest_count = _row_popcount(honest)
-        has_honest = honest_count > 0
-        out_ones = _row_popcount(output & honest)
-        agreement = (out_ones == 0) | (out_ones == honest_count)
-        in_ones = _row_popcount(inputs.astype(bool) & honest)
-        unanimous_1 = has_honest & (in_ones == honest_count)
-        unanimous_0 = has_honest & (in_ones == 0)
-        validity = np.ones(inputs.shape[0], dtype=bool)
-        validity[unanimous_1] = out_ones[unanimous_1] == honest_count[unanimous_1]
-        validity[unanimous_0] = out_ones[unanimous_0] == 0
-        corrupted_count = _row_popcount(corrupted)
-
+        kernel = build_adversary_kernel(
+            self.adversary, n=self.n, t=self.t, params=self.params
+        )
+        assert self.max_phases is not None
+        engine = PhaseEngine(
+            n=self.n,
+            t=self.t,
+            params=self.params,
+            coin="committee",
+            las_vegas=self.las_vegas,
+            num_phases=self.params.num_phases,
+            max_phases=self.max_phases,
+        )
+        state = engine.run_batch(inputs, rngs, kernel)
+        evaluated = finalize_planes(
+            self.n,
+            self.t,
+            inputs,
+            output=state["output"],
+            corrupted=state["corrupted"],
+            messages=state["messages"],
+            timed_out=state["timed_out"],
+        )
         results = []
         for b in range(inputs.shape[0]):
-            agrees = bool(agreement[b])
+            agrees = bool(evaluated["agreement"][b])
             decision: int | None = None
-            if agrees and has_honest[b]:
-                decision = 1 if out_ones[b] else 0
+            if agrees and evaluated["has_honest"][b]:
+                decision = 1 if evaluated["out_ones"][b] else 0
             results.append(
                 VectorizedRunResult(
-                    n=n,
-                    t=t,
-                    rounds=int(2 * phases[b]),
-                    phases=int(phases[b]),
+                    n=self.n,
+                    t=self.t,
+                    rounds=int(state["rounds"][b]),
+                    phases=int(state["phases"][b]),
                     agreement=agrees,
-                    validity=bool(validity[b]),
+                    validity=bool(evaluated["validity"][b]),
                     decision=decision,
-                    corrupted=int(corrupted_count[b]),
-                    messages=int(messages[b]),
-                    bits=int(messages[b]) * _ROUND_PAYLOAD_BITS,
-                    timed_out=bool(timed_out[b]),
+                    corrupted=int(evaluated["corrupted_count"][b]),
+                    messages=int(state["messages"][b]),
+                    bits=int(state["messages"][b]) * _ROUND_PAYLOAD_BITS,
+                    timed_out=bool(state["timed_out"][b]),
                 )
             )
         return results
@@ -958,14 +405,22 @@ class VectorizedAggregate:
 
 
 def _parameters_for(protocol: str, n: int, t: int, alpha: float) -> ProtocolParameters:
-    if protocol in ("committee-ba", "committee-ba-las-vegas"):
-        return ProtocolParameters.derive(n, t, alpha)
-    if protocol in ("chor-coan", "chor-coan-las-vegas"):
-        return chor_coan_parameters(n, t, alpha=alpha)
-    raise ConfigurationError(
-        "the vectorized engine supports the committee-ba and chor-coan protocols, "
-        f"got {protocol!r}"
-    )
+    """Committee geometry via the runner's shared resolver.
+
+    Delegates to :func:`repro.core.runner.protocol_parameters` (the single
+    source of truth for alpha/committee sizing) after gating on the
+    protocols this engine implements.
+    """
+    if protocol not in (
+        "committee-ba", "committee-ba-las-vegas", "chor-coan", "chor-coan-las-vegas"
+    ):
+        raise ConfigurationError(
+            "the vectorized engine supports the committee-ba and chor-coan protocols, "
+            f"got {protocol!r}"
+        )
+    from repro.core.runner import protocol_parameters
+
+    return protocol_parameters(protocol, n, t, {"alpha": alpha})
 
 
 def trial_generator(seed: int, k: int) -> np.random.Generator:
@@ -974,18 +429,8 @@ def trial_generator(seed: int, k: int) -> np.random.Generator:
 
 
 def _trial_inputs(n: int, inputs: str, rng: np.random.Generator) -> np.ndarray:
-    """Materialise one trial's input row, consuming ``rng`` only for ``random``."""
-    if inputs == "split":
-        input_bits = np.zeros(n, dtype=np.int8)
-        input_bits[n // 2 :] = 1
-        return input_bits
-    if inputs == "random":
-        return rng.integers(0, 2, size=n).astype(np.int8)
-    if inputs == "unanimous-0":
-        return np.zeros(n, dtype=np.int8)
-    if inputs == "unanimous-1":
-        return np.ones(n, dtype=np.int8)
-    raise ConfigurationError(f"unknown input pattern {inputs!r}")
+    """Materialise one trial's input row (:func:`repro.core.inputs.input_row`)."""
+    return input_row(n, inputs, rng)
 
 
 #: Public alias used by the baseline kernels (:mod:`repro.baselines.kernels`).

@@ -34,6 +34,11 @@ from repro.simulator.vectorized import VECTORIZED_ADVERSARIES, run_vectorized_tr
 PLANE_ADVERSARIES = sorted(ADVERSARY_PLANE_KERNELS)
 
 
+def object_name(behaviour: str) -> str:
+    """The runner's canonical strategy name for a plane-kernel behaviour."""
+    return {"none": "null", "straddle": "coin-attack"}.get(behaviour, behaviour)
+
+
 class TestCrossValidation:
     """Each plane kernel against the object simulator at small n."""
 
@@ -46,7 +51,7 @@ class TestCrossValidation:
                                     trials=trials, seed=5, protocol=protocol)
         obj = run_trials(
             AgreementExperiment(n=n, t=t, protocol=protocol,
-                                adversary=adversary, inputs="split"),
+                                adversary=object_name(adversary), inputs="split"),
             num_trials=trials, base_seed=5,
         )
         assert vec.agreement_rate == obj.agreement_rate == 1.0
@@ -63,7 +68,7 @@ class TestCrossValidation:
                                     protocol="committee-ba-las-vegas")
         obj = run_trials(
             AgreementExperiment(n=n, t=t, protocol="committee-ba-las-vegas",
-                                adversary=adversary, inputs="split"),
+                                adversary=object_name(adversary), inputs="split"),
             num_trials=trials, base_seed=11,
         )
         assert vec.agreement_rate == obj.agreement_rate == 1.0

@@ -40,15 +40,35 @@ class TestSelectEngine:
         assert select_engine("sampling-majority", "silent") == "vectorized"
 
     def test_auto_falls_back_to_object(self):
-        assert select_engine("phase-king", "coin-attack") == "object"
-        assert select_engine("ben-or", "coin-attack") == "object"
-        assert select_engine("rabin", "crash") == "object"
-        assert select_engine("eig", "random-noise") == "object"
-        assert select_engine("sampling-majority", "committee-targeting") == "object"
-        # Committee-family pairs fall back only when options leave the
-        # kernel's modelled set.
+        # The one remaining unmodelled pair: the equivocator's staggered
+        # corruption breaks EIG's fixed-honest-set tree recurrence.
+        assert select_engine("eig", "equivocate") == "object"
+        # Pairs with a real lever fall back when options leave the kernel's
+        # modelled set.
         assert select_engine("committee-ba", "equivocate",
                              adversary_kwargs={"corrupt_per_phase": 2}) == "object"
+        assert select_engine("rabin", "silent",
+                             adversary_kwargs={"targets": [3]}) == "object"
+
+    def test_inapplicable_pairs_dispatch_to_the_exact_null_behaviour(self):
+        # Strategies with no lever on a protocol (no shares to straddle or
+        # crash, no distinguished node to target) provably no-op in the
+        # object simulator; the registry maps them to the failure-free
+        # behaviour and keeps the fast path.
+        for protocol, adversary in (
+            ("phase-king", "coin-attack"),
+            ("phase-king", "crash"),
+            ("eig", "coin-attack"),
+            ("eig", "crash"),
+            ("eig", "committee-targeting"),
+            ("sampling-majority", "coin-attack"),
+            ("sampling-majority", "crash"),
+            ("sampling-majority", "committee-targeting"),
+        ):
+            assert select_engine(protocol, adversary) == "vectorized", (protocol, adversary)
+            spec = PROTOCOL_KERNELS[protocol]
+            assert adversary in spec.inapplicable, (protocol, adversary)
+            assert spec.behaviours[adversary] == "none", (protocol, adversary)
 
     def test_object_only_options_disable_the_fast_path(self):
         assert not vectorizable("committee-ba", "coin-attack", max_rounds=100)
@@ -69,12 +89,10 @@ class TestSelectEngine:
 
     def test_forcing_vectorized_on_unsupported_config_raises(self):
         with pytest.raises(ConfigurationError):
-            select_engine("phase-king", "coin-attack", engine="vectorized")
+            select_engine("eig", "equivocate", engine="vectorized")
         with pytest.raises(ConfigurationError):
             select_engine("committee-ba", "equivocate", engine="vectorized",
                           adversary_kwargs={"corrupt_per_phase": 2})
-        with pytest.raises(ConfigurationError):
-            select_engine("ben-or", "static", engine="vectorized")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -84,27 +102,27 @@ class TestSelectEngine:
         import repro.engine as engine_module
 
         monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 8)
-        small = select_engine("phase-king", "coin-attack", engine="auto",
+        small = select_engine("eig", "equivocate", engine="auto",
                               trials=5, n=32)
         assert small == "object"
-        large = select_engine("phase-king", "coin-attack", engine="auto",
+        large = select_engine("eig", "equivocate", engine="auto",
                               trials=200, n=512)
         assert large == "object-mp"
 
     def test_auto_honors_an_explicit_worker_count(self):
         # An explicit workers= under auto is an explicit request, regardless
         # of sweep size.
-        parallel = select_engine("phase-king", "coin-attack", engine="auto",
+        parallel = select_engine("eig", "equivocate", engine="auto",
                                  trials=5, n=32, workers=4)
         assert parallel == "object-mp"
-        serial = select_engine("phase-king", "coin-attack", engine="auto",
+        serial = select_engine("eig", "equivocate", engine="auto",
                                trials=200, n=512, workers=1)
         assert serial == "object"
 
     def test_explicit_object_never_spawns_processes(self):
         # engine="object" is a strict in-process contract, even for sweeps
         # big enough that auto would escalate.
-        chosen = select_engine("phase-king", "coin-attack", engine="object",
+        chosen = select_engine("eig", "equivocate", engine="object",
                                trials=200, n=512, workers=4)
         assert chosen == "object"
 
@@ -191,19 +209,46 @@ class TestDispatchTable:
         rows = dispatch_table()
         assert len(rows) == 9 * 8  # PROTOCOLS x ADVERSARIES
         fast = [row for row in rows if row["auto engine"] == "vectorized"]
-        # committee family x all 8 adversaries (the plane kernels complete
-        # the matrix), plus the baseline kernels: rabin x 3, ben-or x 2,
-        # phase-king x 3, eig x 3, sampling-majority x 2.
-        assert len(fast) == 4 * 8 + 3 + 2 + 3 + 3 + 2
+        # The hook-capability derivation closes the matrix: every pair is
+        # fast except eig x equivocate (staggered corruption vs the fixed
+        # honest set of the tree recurrence).
+        assert len(fast) == 9 * 8 - 1
         for row in fast:
             spec = PROTOCOL_KERNELS[row["protocol"]]
             assert row["fast-path behaviour"] == spec.behaviours[row["adversary"]]
             assert row["kernel"] == spec.name
-            assert row["validation"] in ("exact", "statistical")
+            assert row["validation"] in ("exact", "statistical", "exact (no-op)")
         committee_rows = [row for row in fast if row["kernel"] == "committee"]
         assert len(committee_rows) == 4 * 8
         for row in committee_rows:
             assert row["fast-path behaviour"] == ADVERSARY_FAST_PATH[row["adversary"]]
+
+    def test_fast_pair_floor_and_explicit_inapplicable_listing(self):
+        # Acceptance bar of the PhaseEngine-unification issue: the dispatch
+        # table reports at least 65 fast pairs, and every inapplicable pair
+        # is listed explicitly (dispatching to the exact null behaviour).
+        rows = dispatch_table()
+        fast = [row for row in rows if row["auto engine"] == "vectorized"]
+        assert len(fast) >= 65
+        noop = {
+            (row["protocol"], row["adversary"])
+            for row in rows
+            if row["validation"] == "exact (no-op)"
+        }
+        assert noop == {
+            ("phase-king", "coin-attack"),
+            ("phase-king", "crash"),
+            ("eig", "coin-attack"),
+            ("eig", "crash"),
+            ("eig", "committee-targeting"),
+            ("sampling-majority", "coin-attack"),
+            ("sampling-majority", "crash"),
+            ("sampling-majority", "committee-targeting"),
+        }
+        support = {row["protocol"]: row for row in kernel_support_table()}
+        assert support["eig"]["inapplicable"] == "coin-attack, committee-targeting, crash"
+        assert support["eig"]["object only"] == "equivocate"
+        assert support["rabin"]["inapplicable"] == "-"
 
     def test_kernel_support_table_has_one_row_per_protocol(self):
         rows = kernel_support_table()
@@ -212,6 +257,8 @@ class TestDispatchTable:
         assert by_protocol["rabin"]["kernel"] == "dealer-coin"
         assert by_protocol["ben-or"]["max_rounds"] == "yes"
         assert "static" in by_protocol["phase-king"]["vectorized adversaries"]
+        assert "committee-targeting" in by_protocol["phase-king"]["vectorized adversaries"]
+        assert "equivocate" in by_protocol["sampling-majority"]["vectorized adversaries"]
         assert "coin-attack" in by_protocol["committee-ba"]["vectorized adversaries"]
         # Acceptance bar of the adversary-kernel issue: the committee family
         # reports support for the adaptive per-recipient strategies.

@@ -124,12 +124,25 @@ class TestSpec:
 
     def test_fast_path_only_filters_object_pairs(self):
         spec = SweepSpec(
-            name="fast", protocols=("phase-king",),
-            adversaries=("static", "coin-attack"),  # coin-attack has no PK kernel
-            n_values=(17,), t_specs=("quarter",), fast_path_only=True,
+            name="fast", protocols=("eig",),
+            # equivocate is the one remaining object-only pair (staggered
+            # corruption vs the fixed honest set of the tree recurrence).
+            adversaries=("static", "equivocate"),
+            n_values=(10,), t_specs=(2,), fast_path_only=True,
         )
         points = spec.expand()
         assert [p.adversary for p in points] == ["static"]
+
+    def test_fast_path_only_keeps_the_newly_vectorized_pairs(self):
+        spec = SweepSpec(
+            name="fast", protocols=("phase-king",),
+            adversaries=("coin-attack", "committee-targeting", "random-noise"),
+            n_values=(17,), t_specs=("quarter",), fast_path_only=True,
+        )
+        points = spec.expand()
+        assert [p.adversary for p in points] == [
+            "coin-attack", "committee-targeting", "random-noise"
+        ]
 
     def test_spec_file_loading_json_and_toml(self, tmp_path):
         json_path = tmp_path / "spec.json"
