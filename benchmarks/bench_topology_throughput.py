@@ -1,0 +1,117 @@
+"""Masked-plane overhead: the topology axis must stay cheap on the clique.
+
+The masked communication path replaces the global boolean tallies with
+per-recipient contractions against the adjacency mask, so it costs more
+than the historical clique path — the question is how much.  The
+``AdjacencyCounter`` keeps the answer small by choosing its strategy from
+the mask's density (complement segment sums on near-complete graphs,
+direct segment sums on sparse ones, a float32 sgemm in between), and this
+benchmark pins the result three ways:
+
+* an **all-True adjacency** (the masked path on a clique-equal graph) must
+  be *bit-identical* to the unmasked default and at most ``2x`` slower at
+  ``n=512`` — the acceptance bar for keeping the axis first-class rather
+  than a slow side branch;
+* a **ring** run at the same size times the sparse ``direct`` strategy
+  without a bar: the degree-2 graph livelocks trials to the phase bound by
+  design, so its wall-clock mixes per-phase cost with a larger phase count;
+* the **lossy path** is measured at ``n=128`` without a bar: its per-trial
+  ``(n, n)`` delivered-edge draws dominate and scale with the phase count.
+
+All measurements are folded into ``benchmarks/results/summary.json`` for
+cross-PR trajectory tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.simulator.vectorized import run_vectorized_trials
+from repro.topology import build_topology
+
+#: Overhead comparison configuration: large enough that the plane work
+#: (not Python dispatch) dominates.  `straddle` keeps every trial running
+#: the full schedule, so the comparison is not skewed by early exits.
+BENCH_N = 512
+BENCH_T = 64
+BENCH_TRIALS = 64
+
+#: The lossy path samples a per-trial (n, n) delivered-edge matrix each
+#: round, which dwarfs the tally work at n=512 — measure it where the
+#: protocol work is still visible next to the sampling cost.
+LOSSY_N = 128
+LOSSY_T = 16
+
+#: Acceptance bar: masked all-True adjacency vs the unmasked clique path.
+MAX_MASKED_OVERHEAD = 2.0
+
+
+def _run(n, t, adjacency=None, loss=0.0, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_vectorized_trials(
+            n, t, protocol="committee-ba", adversary="straddle",
+            inputs="split", trials=BENCH_TRIALS, seed=17,
+            adjacency=adjacency, loss=loss,
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_masked_clique_overhead_is_bounded_and_bit_identical():
+    """All-True adjacency: <= 2x the unmasked path, identical results."""
+    unmasked_s, unmasked = _run(BENCH_N, BENCH_T)
+    masked_s, masked = _run(
+        BENCH_N, BENCH_T, adjacency=np.ones((BENCH_N, BENCH_N), dtype=bool)
+    )
+
+    for vec, ref in zip(masked.results, unmasked.results):
+        assert vec.rounds == ref.rounds
+        assert vec.agreement == ref.agreement
+        assert vec.validity == ref.validity
+        assert vec.decision == ref.decision
+        assert vec.messages == ref.messages
+        assert vec.bits == ref.bits
+
+    ring_s, _ = _run(BENCH_N, BENCH_T, adjacency=build_topology("ring", BENCH_N))
+    lossy_base_s, _ = _run(LOSSY_N, LOSSY_T)
+    lossy_s, lossy = _run(LOSSY_N, LOSSY_T, loss=0.01)
+
+    overhead = masked_s / unmasked_s
+    lossy_overhead = lossy_s / lossy_base_s
+    print(
+        f"\ntopology overhead (n={BENCH_N}, t={BENCH_T}, trials={BENCH_TRIALS}): "
+        f"unmasked {unmasked_s * 1000:.1f} ms, masked(all-True) "
+        f"{masked_s * 1000:.1f} ms ({overhead:.2f}x), ring "
+        f"{ring_s * 1000:.1f} ms; lossy(0.01, n={LOSSY_N}) "
+        f"{lossy_s * 1000:.1f} ms ({lossy_overhead:.2f}x, "
+        f"agreement {lossy.agreement_rate:.2f})"
+    )
+    from benchmarks.harness import update_summary
+
+    update_summary(
+        "topology-throughput/masked-clique",
+        {
+            "kind": "throughput",
+            "protocol": "committee-ba",
+            "adversary": "straddle",
+            "n": BENCH_N,
+            "t": BENCH_T,
+            "trials": BENCH_TRIALS,
+            "unmasked_seconds": unmasked_s,
+            "masked_seconds": masked_s,
+            "masked_overhead": overhead,
+            "ring_seconds": ring_s,
+            "lossy_n": LOSSY_N,
+            "lossy_seconds": lossy_s,
+            "lossy_overhead": lossy_overhead,
+            "bit_identical": True,
+        },
+    )
+    assert overhead <= MAX_MASKED_OVERHEAD, (
+        f"masked all-True adjacency path is {overhead:.2f}x the unmasked "
+        f"clique path at n={BENCH_N} (bar {MAX_MASKED_OVERHEAD}x)"
+    )

@@ -72,6 +72,9 @@ class KernelSpec:
             (``params=``) and an ``alpha`` kwarg.
         supports_max_rounds: Kernel honours an explicit round cap
             (timed-out trials are reported, not mis-simulated).
+        supports_topology: Kernel accepts ``adjacency``/``loss`` kwargs (the
+            masked communication planes of :mod:`repro.topology`); protocols
+            without it run off-clique configurations on the object path only.
         protocol_kwargs: Protocol constructor kwargs the kernel reproduces;
             any other kwarg forces the object path.
     """
@@ -84,6 +87,7 @@ class KernelSpec:
     exact: frozenset[str] = frozenset()
     supports_params: bool = False
     supports_max_rounds: bool = False
+    supports_topology: bool = False
     protocol_kwargs: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
@@ -111,6 +115,7 @@ BASELINE_KERNELS: dict[str, KernelSpec] = {
         exact=frozenset(
             {"null", "none", "silent", "static", "equivocate", "committee-targeting"}
         ),
+        supports_topology=True,
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "ben-or": KernelSpec(
@@ -118,12 +123,14 @@ BASELINE_KERNELS: dict[str, KernelSpec] = {
         run_trials=run_ben_or_trials,
         hooks=SKELETON_HOOKS,
         supports_max_rounds=True,
+        supports_topology=True,
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "phase-king": KernelSpec(
         name="phase-king",
         run_trials=run_phase_king_trials,
         hooks=PHASE_KING_HOOKS,
+        supports_topology=True,
         exact=frozenset(
             {
                 "null",

@@ -39,6 +39,8 @@ def run_ben_or_trials(
     phases_factor: float = 4.0,
     max_rounds: int | None = None,
     trial_offset: int = 0,
+    adjacency=None,
+    loss: float = 0.0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Ben-Or's protocol.
 
@@ -63,6 +65,8 @@ def run_ben_or_trials(
         params=params,
         las_vegas=True,
         max_phases=max(1, cap_rounds // 2),
+        adjacency=adjacency,
+        loss=loss,
     )
     results = finalize_planes(
         n,

@@ -52,6 +52,9 @@ from repro.baselines.kernels.common import (
 )
 from repro.core.parameters import ProtocolParameters, Regime, validate_n_t
 from repro.exceptions import ConfigurationError
+from repro.topology.counting import AdjacencyCounter
+from repro.topology.generators import validate_adjacency
+from repro.topology.loss import sample_delivered, validate_loss
 
 #: Adversary hook surface this kernel implements (drives the supported- and
 #: inapplicable-behaviour derivation in the engine's capability registry).
@@ -81,13 +84,35 @@ def run_phase_king_trials(
     trials: int = 10,
     seed: int = 0,
     trial_offset: int = 0,
+    adjacency: np.ndarray | None = None,
+    loss: float = 0.0,
 ) -> VectorizedAggregate:
-    """Run ``trials`` batched executions of phase king (``n > 4t``)."""
+    """Run ``trials`` batched executions of phase king (``n > 4t``).
+
+    With an ``adjacency`` mask or positive ``loss`` the round-1 tallies and
+    the king broadcast become per-recipient over delivered edges (a recipient
+    that never hears the king falls back to its own-group majority, exactly
+    like under a silent king), and CONGEST counters count delivered edges
+    only.  The deterministic protocol stays *exact* against the object
+    simulator off-clique at ``loss == 0`` for the randomness-free behaviours.
+    """
     validate_n_t(n, t)
     if 4 * t >= n:
         raise ConfigurationError(
             f"the implemented phase-king variant requires n > 4t; got n={n}, t={t}"
         )
+    loss = validate_loss(loss)
+    if adjacency is not None:
+        adjacency = validate_adjacency(adjacency, n)
+    masked = adjacency is not None or loss > 0.0
+    counter = AdjacencyCounter(adjacency) if masked and loss == 0.0 else None
+
+    def receive_counts(sent: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
+        if deliver_f is None:
+            return counter.receive_counts(sent)
+        counts = (sent.astype(np.float32)[:, None, :] @ deliver_f)[:, 0, :]
+        return counts.astype(np.int64)
+
     input_rows, rngs = batch_setup(n, inputs, trials, seed, trial_offset)
     batch = input_rows.shape[0]
     params = _king_parameters(n, t)
@@ -123,6 +148,11 @@ def run_phase_king_trials(
         ctx = context(phase, king)
 
         # ---------------- Round 1: universal exchange ----------------
+        deliver1 = None
+        if masked and loss > 0.0:
+            deliver1 = sample_delivered(adjacency, loss, n, rngs, running).astype(
+                np.float32
+            )
         ones_pre = row_popcount(value & active)
         sender_count = row_popcount(active)
         before = messages.copy()
@@ -131,10 +161,25 @@ def run_phase_king_trials(
         # A node corrupted mid-round has its honest broadcast discarded.
         sender_count = row_popcount(active)
         ones_honest = row_popcount(value & active)
-        messages += sender_count * n
-        bits += sender_count * n * _VALUE_ANNOUNCEMENT_BITS
-        ones = ones_honest[:, None] + np.asarray(effect1.ones)
-        zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+        if masked:
+            ones_recv = receive_counts(value & active, deliver1)
+            zeros_recv = receive_counts(active & ~value, deliver1)
+            if deliver1 is None:
+                delivered_count = counter.delivered_edges(active)
+            else:
+                # The tallies' disjoint union is exactly `active`, so their
+                # sum *is* the delivered-edge message counter — sparing a
+                # third contraction against the loss matrix.
+                delivered_count = (ones_recv + zeros_recv).sum(axis=1)
+            messages += delivered_count
+            bits += delivered_count * _VALUE_ANNOUNCEMENT_BITS
+            ones = ones_recv + np.asarray(effect1.ones)
+            zeros = zeros_recv + np.asarray(effect1.zeros)
+        else:
+            messages += sender_count * n
+            bits += sender_count * n * _VALUE_ANNOUNCEMENT_BITS
+            ones = ones_honest[:, None] + np.asarray(effect1.ones)
+            zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
         majority = ones >= zeros  # ties break to 1, as in the object node
         majority_count = np.maximum(ones, zeros)
 
@@ -142,22 +187,35 @@ def run_phase_king_trials(
         # Non-rushing king corruption (king-targeting) lands before the king
         # broadcasts; the adversary's own round-2 traffic is counted but its
         # payloads are unheard (phase-king nodes only read KingValue).
+        deliver2 = None
+        if masked and loss > 0.0:
+            deliver2 = sample_delivered(adjacency, loss, n, rngs, running)
         kernel.pre_coin(ctx)
         before = messages.copy()
         kernel.round2(ctx, zero_counts, zero_counts, zero_counts)
         bits += (messages - before) * _COMBINED_ANNOUNCEMENT_BITS
         king_active = active[:, king]
-        messages += np.where(king_active, n, 0)
-        bits += np.where(king_active, n * _KING_VALUE_BITS, 0)
+        if masked:
+            if deliver2 is None:
+                king_edges = np.where(king_active, counter.outdeg[king], 0)  # type: ignore[union-attr]
+                king_heard = king_active[:, None] & adjacency[king][None, :]  # type: ignore[index]
+            else:
+                king_heard = king_active[:, None] & deliver2[:, king, :]
+                king_edges = np.where(king_active, king_heard.sum(axis=1), 0)
+            messages += king_edges
+            bits += king_edges * _KING_VALUE_BITS
+        else:
+            king_heard = king_active[:, None]
+            messages += np.where(king_active, n, 0)
+            bits += np.where(king_active, n * _KING_VALUE_BITS, 0)
 
         strong = majority_count > strong_threshold
         # Uniform effect planes broadcast as (B, 1) columns; the king's own
         # majority then sits in the only column.
         king_value = majority[:, king if majority.shape[1] > 1 else 0]
-        # A silent (Byzantine) king: fall back to the own-group majority.
-        new_value = np.where(
-            strong | ~king_active[:, None], majority, king_value[:, None]
-        )
+        # A silent (Byzantine) king — or, off-clique, a recipient that never
+        # hears the KingValue: fall back to the own-group majority.
+        new_value = np.where(strong | ~king_heard, majority, king_value[:, None])
         value ^= (value ^ new_value) & active
 
     rounds = np.full(batch, 2 * num_phases, dtype=np.int64)

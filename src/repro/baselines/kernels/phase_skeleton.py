@@ -83,6 +83,8 @@ def run_phase_skeleton_batch(
     las_vegas: bool,
     max_phases: int,
     dealer_seeds: Sequence[int] | None = None,
+    adjacency: np.ndarray | None = None,
+    loss: float = 0.0,
 ) -> dict[str, np.ndarray]:
     """Execute ``B`` trials of the two-round phase skeleton simultaneously.
 
@@ -102,6 +104,9 @@ def run_phase_skeleton_batch(
         dealer_seeds: Per-trial public dealer seed (required for the dealer
             coin); the object runner hands each trial its master seed, so
             exact cross-validation passes ``base_seed + k``.
+        adjacency: Optional ``(n, n)`` boolean topology mask
+            (:mod:`repro.topology`); ``None`` keeps the clique path.
+        loss: Per-edge i.i.d. message-loss probability.
 
     Returns:
         The final state planes plus per-trial counters, with the skeleton's
@@ -118,6 +123,8 @@ def run_phase_skeleton_batch(
         max_phases=max_phases,
         rotate_committee=False,
         dealer_seeds=dealer_seeds,
+        adjacency=adjacency,
+        loss=loss,
     )
     state = engine.run_batch(inputs, rngs, kernel)
     state["bits"] = state["messages"] * ROUND_PAYLOAD_BITS

@@ -34,6 +34,8 @@ def run_rabin_trials(
     seed: int = 0,
     phases_factor: float = 4.0,
     trial_offset: int = 0,
+    adjacency=None,
+    loss: float = 0.0,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Rabin's protocol.
 
@@ -59,6 +61,8 @@ def run_rabin_trials(
         las_vegas=False,
         max_phases=params.num_phases,
         dealer_seeds=[seed + trial_offset + k for k in range(trials)],
+        adjacency=adjacency,
+        loss=loss,
     )
     results = finalize_planes(
         n,

@@ -40,14 +40,27 @@ Python:
     tables embedded in README.md and docs/, kept drift-free by
     ``tests/test_docs.py``.
 
+``topologies``
+    Print the communication-topology catalogue (the named generators behind
+    ``--topology``) and the per-protocol off-clique support table: which
+    protocols run off-clique/lossy configurations on the masked vectorised
+    planes and how each is cross-validated.  ``--markdown`` emits the blocks
+    embedded in ``docs/topologies.md``.
+
+``run``/``trials`` accept ``--topology`` (any catalogue name) and ``--loss``
+(an i.i.d. per-edge drop probability); the defaults — the clique with no
+loss — reproduce the historical reliable-broadcast behaviour bit-for-bit.
+
 Examples::
 
     python -m repro run --n 64 --t 12 --adversary coin-attack --seed 7
     python -m repro trials --n 64 --t 12 --trials 20 --protocol chor-coan-las-vegas
     python -m repro trials --n 2000 --t 250 --trials 100 --engine vectorized
+    python -m repro trials --n 48 --t 4 --adversary null --topology ring --loss 0.01
     python -m repro experiment E1 --full
     python -m repro engines
-    python -m repro sweep run scale-ladder --workers 4
+    python -m repro topologies
+    python -m repro sweep run off-clique-ladder --workers 4
     python -m repro sweep status scale-ladder
     python -m repro sweep report e6-quick
 """
@@ -74,6 +87,7 @@ from repro.engine import (
 )
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
+from repro.topology import TOPOLOGIES
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +102,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="input pattern (default split)")
     parser.add_argument("--alpha", type=float, default=None,
                         help="committee-count constant alpha (default: protocol default)")
+    parser.add_argument("--topology", choices=sorted(TOPOLOGIES), default="clique",
+                        help="communication topology (default clique; see "
+                             "`repro topologies`)")
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="i.i.d. per-edge message-loss probability in "
+                             "[0, 1) (default 0)")
     parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
 
 
@@ -133,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true",
         help="emit the tables as marked markdown blocks (the exact content "
              "embedded in README.md and docs/, enforced by tests/test_docs.py)")
+
+    topologies_parser = subparsers.add_parser(
+        "topologies", help="print the topology catalogue and off-clique support"
+    )
+    topologies_parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit the tables as marked markdown blocks (the exact content "
+             "embedded in docs/topologies.md, enforced by tests/test_docs.py)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="orchestrate declarative scenario sweeps (cached, resumable)"
@@ -195,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_run(args: argparse.Namespace) -> int:
     result = run_agreement(
         n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
-        inputs=args.inputs, seed=args.seed, alpha=args.alpha, collect_trace=args.trace,
+        inputs=args.inputs, seed=args.seed, alpha=args.alpha,
+        topology=args.topology, loss=args.loss, collect_trace=args.trace,
     )
     print(format_table([collect_run_metrics(result)]))
     if args.trace and result.trace is not None:
@@ -213,6 +242,7 @@ def _command_trials(args: argparse.Namespace) -> int:
     experiment = AgreementExperiment(
         n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
         inputs=args.inputs, alpha=args.alpha,
+        topology=args.topology, loss=args.loss,
     )
     engine = args.engine
     if engine == "object" and args.workers is not None and args.workers > 1:
@@ -251,6 +281,22 @@ def _command_engines(args: argparse.Namespace) -> int:
     print(format_table(kernel_support_table()))
     print("\nprotocol x adversary dispatch (--engine auto):")
     print(format_table(dispatch_table()))
+    return 0
+
+
+def _command_topologies(args: argparse.Namespace) -> int:
+    from repro.engine import topology_support_table
+    from repro.topology import markdown_topology_catalogue, topology_catalogue_table
+
+    if args.markdown:
+        print(markdown_topology_catalogue())
+        print()
+        print(markdown_engine_tables()["topology-support"])
+        return 0
+    print("topology catalogue:")
+    print(format_table(topology_catalogue_table()))
+    print("\nper-protocol off-clique support:")
+    print(format_table(topology_support_table()))
     return 0
 
 
@@ -353,6 +399,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "engines":
         return _command_engines(args)
+    if args.command == "topologies":
+        return _command_topologies(args)
     if args.command == "sweep":
         return _command_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

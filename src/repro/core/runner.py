@@ -235,6 +235,8 @@ def run_agreement(
     collect_trace: bool = False,
     allow_timeout: bool = False,
     strict_congest: bool = False,
+    topology: str = "clique",
+    loss: float = 0.0,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> RunResult:
@@ -254,6 +256,11 @@ def run_agreement(
         collect_trace: Record a per-round execution trace on the result.
         allow_timeout: Return (rather than raise) when the cap is hit.
         strict_congest: Raise on CONGEST per-edge budget violations.
+        topology: Named topology (:data:`repro.topology.TOPOLOGIES`); the
+            default ``"clique"`` is the paper's model and keeps the
+            historical execution bit for bit.
+        loss: Per-edge i.i.d. message-loss probability (drawn from the run's
+            dedicated network stream).
         protocol_kwargs / adversary_kwargs: Extra constructor arguments.
 
     Returns:
@@ -271,6 +278,11 @@ def run_agreement(
     nodes, context = _build_nodes(protocol, n, t, inputs_list, randomness, protocol_kwargs)
     adversary_instance = _build_adversary(adversary, t, randomness, adversary_kwargs)
 
+    adjacency = None
+    if topology != "clique":
+        from repro.topology import build_topology
+
+        adjacency = build_topology(topology, n)
     scheduler = SynchronousScheduler(
         nodes,
         adversary_instance,
@@ -279,6 +291,9 @@ def run_agreement(
         collect_trace=collect_trace,
         strict_congest=strict_congest,
         allow_timeout=allow_timeout,
+        adjacency=adjacency,
+        loss=loss,
+        loss_rng=randomness.network_stream() if loss > 0.0 else None,
     )
     result = scheduler.run()
     result.extra["phases"] = math.ceil(result.rounds / 2)
@@ -302,11 +317,18 @@ class AgreementExperiment:
     alpha: float | None = None
     max_rounds: int | None = None
     allow_timeout: bool = False
+    topology: str = "clique"
+    loss: float = 0.0
     protocol_kwargs: dict[str, Any] = field(default_factory=dict)
     adversary_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def label(self) -> str:
-        return f"{self.protocol}/{self.adversary}/n={self.n}/t={self.t}"
+        label = f"{self.protocol}/{self.adversary}/n={self.n}/t={self.t}"
+        if self.topology != "clique":
+            label += f"/{self.topology}"
+        if self.loss > 0.0:
+            label += f"/loss={self.loss:g}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -441,6 +463,8 @@ def run_single_trial(experiment: AgreementExperiment, seed: int) -> TrialSummary
         alpha=experiment.alpha,
         max_rounds=experiment.max_rounds,
         allow_timeout=experiment.allow_timeout,
+        topology=experiment.topology,
+        loss=experiment.loss,
         protocol_kwargs=experiment.protocol_kwargs,
         adversary_kwargs=experiment.adversary_kwargs,
     )

@@ -105,6 +105,7 @@ def _committee_spec(protocol: str) -> KernelSpec:
         hooks=COMMITTEE_ENGINE_HOOKS,
         exact=_COMMITTEE_EXACT,
         supports_params=True,
+        supports_topology=True,
         protocol_kwargs=frozenset({"alpha"}),
     )
 
@@ -149,6 +150,8 @@ def vectorizable(
     adversary: str,
     *,
     max_rounds: int | None = None,
+    topology: str = "clique",
+    loss: float = 0.0,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> bool:
@@ -156,9 +159,11 @@ def vectorizable(
 
     The decision is a :data:`PROTOCOL_KERNELS` lookup: the pair must have a
     registered fault behaviour, any custom round cap must be honoured by the
-    kernel, protocol kwargs must be within the kernel's modelled set, and any
-    adversary kwargs (e.g. explicit target lists or per-phase spend limits)
-    force the object path.
+    kernel, an off-clique topology or positive message loss requires the
+    kernel's masked communication planes (``supports_topology``), protocol
+    kwargs must be within the kernel's modelled set, and any adversary kwargs
+    (e.g. explicit target lists or per-phase spend limits) force the object
+    path.
     """
     spec = PROTOCOL_KERNELS.get(protocol)
     if spec is None:
@@ -166,6 +171,8 @@ def vectorizable(
     if adversary not in spec.behaviours:
         return False
     if max_rounds is not None and not spec.supports_max_rounds:
+        return False
+    if (topology != "clique" or loss > 0.0) and not spec.supports_topology:
         return False
     if adversary_kwargs:
         return False
@@ -183,6 +190,8 @@ def select_engine(
     n: int = 0,
     workers: int | None = None,
     max_rounds: int | None = None,
+    topology: str = "clique",
+    loss: float = 0.0,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> str:
@@ -199,6 +208,8 @@ def select_engine(
         protocol,
         adversary,
         max_rounds=max_rounds,
+        topology=topology,
+        loss=loss,
         protocol_kwargs=protocol_kwargs,
         adversary_kwargs=adversary_kwargs,
     )
@@ -293,6 +304,14 @@ def _run_vectorized_sweep(
             kwargs.setdefault("alpha", 4.0)
     if spec.supports_max_rounds and experiment.max_rounds is not None:
         kwargs["max_rounds"] = experiment.max_rounds
+    # The clique/loss-free default passes *no* masking kwargs, keeping the
+    # historical code path (and its results) bit for bit.
+    if experiment.topology != "clique" or experiment.loss > 0.0:
+        from repro.topology import build_topology
+
+        if experiment.topology != "clique":
+            kwargs["adjacency"] = build_topology(experiment.topology, experiment.n)
+        kwargs["loss"] = experiment.loss
     aggregate = spec.run_trials(
         experiment.n,
         experiment.t,
@@ -382,6 +401,8 @@ def run_sweep(
     params: ProtocolParameters | None = None,
     max_rounds: int | None = None,
     allow_timeout: bool = False,
+    topology: str = "clique",
+    loss: float = 0.0,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> SweepResult:
@@ -428,6 +449,8 @@ def run_sweep(
             alpha=alpha,
             max_rounds=max_rounds,
             allow_timeout=allow_timeout,
+            topology=topology,
+            loss=loss,
             protocol_kwargs=dict(protocol_kwargs or {}),
             adversary_kwargs=dict(adversary_kwargs or {}),
         )
@@ -442,6 +465,8 @@ def run_sweep(
         n=experiment.n,
         workers=workers,
         max_rounds=experiment.max_rounds,
+        topology=experiment.topology,
+        loss=experiment.loss,
         protocol_kwargs=experiment.protocol_kwargs,
         adversary_kwargs=experiment.adversary_kwargs,
     )
@@ -589,6 +614,48 @@ def kernel_support_table() -> list[dict[str, str]]:
                 "inapplicable": ", ".join(inapplicable) if inapplicable else "-",
                 "object only": ", ".join(unmodelled) if unmodelled else "-",
                 "max_rounds": "yes" if spec.supports_max_rounds else "object only",
+                "topology/loss": "masked" if spec.supports_topology else "object only",
+            }
+        )
+    return rows
+
+
+#: Off-clique validation tier per protocol, shown in the topology-support
+#: table.  Deterministic protocols with replayable randomness stay *exact*
+#: off-clique at ``loss == 0`` for the randomness-free behaviours; everything
+#: else on the masked planes is statistical (the kernels and the object
+#: nodes consume different streams); protocols without masked planes run
+#: off-clique configurations on the object simulator only.
+_TOPOLOGY_VALIDATION = {
+    "phase-king": "exact (null/silent, loss=0); statistical otherwise",
+    "rabin": "exact (null/silent, loss=0); statistical otherwise",
+    "ben-or": "statistical",
+}
+
+
+def topology_support_table() -> list[dict[str, str]]:
+    """One row per protocol: how off-clique / lossy configurations execute.
+
+    ``off-clique engine`` reports where a ``topology != "clique"`` or
+    ``loss > 0`` sweep runs (the masked vectorised planes, or the object
+    simulator's per-round drop sets), and ``off-clique validation`` the
+    cross-validation tier the test suite holds that path to.
+    """
+    rows = []
+    for protocol in sorted(PROTOCOLS):
+        spec = PROTOCOL_KERNELS.get(protocol)
+        if spec is not None and spec.supports_topology:
+            engine_name = "vectorized (masked planes)"
+            validation = _TOPOLOGY_VALIDATION.get(protocol, "statistical")
+        else:
+            engine_name = "object (per-round drops)"
+            validation = "object only"
+        rows.append(
+            {
+                "protocol": protocol,
+                "kernel": spec.name if spec is not None else "-",
+                "off-clique engine": engine_name,
+                "off-clique validation": validation,
             }
         )
     return rows
@@ -597,8 +664,8 @@ def kernel_support_table() -> list[dict[str, str]]:
 def markdown_engine_tables() -> dict[str, str]:
     """The introspection tables as marked, embeddable markdown blocks.
 
-    Returns one block per table name (``"kernel-support"``,
-    ``"dispatch"``): a GitHub-flavoured markdown table wrapped in
+    Returns one block per table name (``"kernel-support"``, ``"dispatch"``,
+    ``"topology-support"``): a GitHub-flavoured markdown table wrapped in
     ``<!-- engines:<name>:begin/end -->`` marker comments.  ``python -m repro
     engines --markdown`` prints these blocks verbatim; the README and
     ``docs/`` embed them between the same markers, and
@@ -611,6 +678,7 @@ def markdown_engine_tables() -> dict[str, str]:
     tables = {
         "kernel-support": format_markdown_table(kernel_support_table()),
         "dispatch": format_markdown_table(dispatch_table()),
+        "topology-support": format_markdown_table(topology_support_table()),
     }
     return {
         name: (
@@ -635,5 +703,6 @@ __all__ = [
     "run_coin_sweep",
     "run_sweep",
     "select_engine",
+    "topology_support_table",
     "vectorizable",
 ]

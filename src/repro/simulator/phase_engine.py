@@ -34,6 +34,33 @@ randomness is drawn from the same generators in the same order (checked by
 the batched-vs-single-trial identity tests and the engine-throughput
 benchmark), and compaction never changes results because trials draw only
 from their own generators.
+
+**The topology / message-loss axis.**  An optional ``(n, n)`` boolean
+``adjacency`` mask and an i.i.d. per-edge ``loss`` probability
+(:mod:`repro.topology`) restrict which broadcasts reach which recipients.
+With either active, the engine switches the global ``(B,)`` honest tallies
+for *per-recipient* ``(B, n)`` receive counts (a delivered-edge matmul),
+the committee coin becomes each recipient's sign over the designated shares
+*it actually received*, and the CONGEST message counters charge delivered
+edges only — all downstream threshold logic is shape-polymorphic and runs
+unchanged.  The contract is:
+
+* ``adjacency is None`` with ``loss == 0`` is the clique: the historical
+  code path runs verbatim, bit for bit.  An explicit all-True adjacency
+  takes the masked path but provably produces identical results (the
+  per-recipient tallies all equal the global ones), which is what the
+  masked-overhead benchmark and the identity tests exploit.
+* loss randomness is drawn from the per-trial generators in a fixed
+  per-phase order (round-1 plane, round-2 plane, then the committee share
+  draws), only for running trials — so per-trial results remain independent
+  of batching and compaction, exactly like the share draws.
+* adversary kernels keep seeing the *global* honest tallies (the paper's
+  full-information adversary) and their additive effect planes are applied
+  to every recipient unmasked — Byzantine traffic is modelled as
+  always-delivered, the worst case.
+* the dealer coin stays public (Rabin's trusted dealer is an abstraction
+  above the network) and the private coin stays local; only the
+  committee-share channel is subject to the mask.
 """
 
 from __future__ import annotations
@@ -48,6 +75,9 @@ from repro.adversary.kernels.base import AdversaryKernel, KernelContext
 from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConfigurationError
 from repro.simulator.bitplanes import row_popcount
+from repro.topology.counting import AdjacencyCounter
+from repro.topology.generators import validate_adjacency
+from repro.topology.loss import sample_delivered, validate_loss
 
 __all__ = ["COIN_SOURCES", "PhaseEngine", "draw_committee_shares", "finalize_planes"]
 
@@ -150,6 +180,12 @@ class PhaseEngine:
         compaction: Archive-and-drop finished trials (on by default; results
             never depend on it because trials draw only from their own
             generators).
+        adjacency: Optional ``(n, n)`` boolean topology mask (symmetric,
+            True diagonal; see :mod:`repro.topology`).  ``None`` means the
+            clique.  Any non-``None`` adjacency — including an explicit
+            all-True one — takes the masked per-recipient path.
+        loss: Per-edge i.i.d. message-loss probability (``0 <= loss < 1``).
+            A positive loss activates the masked path even on the clique.
     """
 
     n: int
@@ -162,6 +198,8 @@ class PhaseEngine:
     rotate_committee: bool = True
     dealer_seeds: Sequence[int] | None = None
     compaction: bool = True
+    adjacency: np.ndarray | None = None
+    loss: float = 0.0
 
     def __post_init__(self) -> None:
         if self.coin not in COIN_SOURCES:
@@ -170,6 +208,9 @@ class PhaseEngine:
             )
         if self.coin == "dealer" and self.dealer_seeds is None:
             raise ConfigurationError("the dealer coin needs per-trial dealer_seeds")
+        self.loss = validate_loss(self.loss)
+        if self.adjacency is not None:
+            self.adjacency = validate_adjacency(self.adjacency, self.n)
 
     # ------------------------------------------------------------------
     def _batch_state(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
@@ -251,6 +292,33 @@ class PhaseEngine:
         dealer_seeds = list(self.dealer_seeds) if self.dealer_seeds is not None else None
         pending_any = False  # does flush_next hold any scheduled flush?
 
+        # Masked-plane machinery (topology / loss axis).  The loss-free mask
+        # tallies go through an AdjacencyCounter (segment sums at the density
+        # extremes, float32 sgemm in between — exact-integer equivalent);
+        # lossy rounds contract against that round's delivered-edge matrix,
+        # cast to float32 once per round (exact for counts up to 2^24).
+        masked = self.adjacency is not None or self.loss > 0.0
+        counter = (
+            AdjacencyCounter(self.adjacency)
+            if masked and self.loss == 0.0
+            else None
+        )
+
+        def receive_counts(sent: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
+            """Per-recipient receive tallies of the boolean ``sent`` plane."""
+            if deliver_f is None:
+                return counter.receive_counts(sent)
+            counts = (sent.astype(np.float32)[:, None, :] @ deliver_f)[:, 0, :]
+            return counts.astype(np.int64)
+
+        def count_delivered(senders: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
+            """Delivered honest edges per trial (the masked message counter)."""
+            if deliver_f is None:
+                return counter.delivered_edges(senders)
+            return np.einsum(
+                "bj,bji->b", senders.astype(np.float32), deliver_f
+            ).astype(np.int64)
+
         def archive(rows: np.ndarray) -> None:
             where = orig[rows]
             final["value"][where] = value[rows]
@@ -314,6 +382,14 @@ class PhaseEngine:
             ctx = context(phase, start, stop, running)
 
             # ---------------- Round 1 ----------------
+            # The round's delivered-edge matrices are sampled before the
+            # kernel speaks (fixed per-phase draw order: round-1 plane,
+            # round-2 plane, committee shares) and only for running trials.
+            deliver1 = None
+            if masked and self.loss > 0.0:
+                deliver1 = sample_delivered(
+                    self.adjacency, self.loss, n, rngs, running
+                ).astype(np.float32)
             ones_pre = row_popcount(value & active)
             effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
             if ctx.mutated:
@@ -324,9 +400,23 @@ class PhaseEngine:
                 ctx.mutated = False
             else:
                 ones_honest = ones_pre
-            messages[running] += sender_count[running] * n
-            ones = ones_honest[:, None] + np.asarray(effect1.ones)
-            zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+            if masked:
+                ones_recv = receive_counts(value & active, deliver1)
+                zeros_recv = receive_counts(active & ~value, deliver1)
+                if deliver1 is None:
+                    delivered = count_delivered(active, None)
+                else:
+                    # The tallies' disjoint union is exactly `active`, so
+                    # their sum *is* the delivered-edge message counter —
+                    # sparing a third contraction against the loss matrix.
+                    delivered = (ones_recv + zeros_recv).sum(axis=1)
+                messages[running] += delivered[running]
+                ones = ones_recv + np.asarray(effect1.ones)
+                zeros = zeros_recv + np.asarray(effect1.zeros)
+            else:
+                messages[running] += sender_count[running] * n
+                ones = ones_honest[:, None] + np.asarray(effect1.ones)
+                zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
             updatable = active & can_update
             quorum1 = ones >= quorum
             quorum0 = ~quorum1 & (zeros >= quorum)
@@ -337,15 +427,26 @@ class PhaseEngine:
 
             # ---------------- Round 2 ----------------
             # Non-rushing committee corruption happens before the flips exist.
+            deliver2 = None
+            if masked and self.loss > 0.0:
+                deliver2 = sample_delivered(
+                    self.adjacency, self.loss, n, rngs, running
+                ).astype(np.float32)
             kernel.pre_coin(ctx)
             if ctx.mutated:
                 sender_count = row_popcount(active)
                 updatable = active & can_update
                 ctx.mutated = False
-            messages[running] += sender_count[running] * n
+            if masked:
+                messages[running] += count_delivered(active, deliver2)[running]
+            else:
+                messages[running] += sender_count[running] * n
             decided_senders = active & decided
             d1_honest = row_popcount(value & decided_senders)
             d0_honest = row_popcount(decided_senders) - d1_honest
+            if masked:
+                d1_recv = receive_counts(value & decided_senders, deliver2)
+                d0_recv = receive_counts(decided_senders & ~value, deliver2)
 
             # Share draws: always for the committee coin; lazily for the
             # others, only when a share-hungry kernel can reach the coin case
@@ -356,16 +457,29 @@ class PhaseEngine:
             if self.coin == "committee":
                 shares = draw_committee_shares(draw_fns, running, active[:, start:stop])
             elif kernel.needs_shares:
-                assigned_honest = (
-                    (d1_honest >= quorum) | (d0_honest >= quorum)
-                    | (d1_honest >= t + 1) | (d0_honest >= t + 1)
-                )
+                if masked:
+                    # Per-recipient thresholds: a trial can reach the coin
+                    # case as soon as any recipient's view stays unassigned.
+                    assigned_honest = (
+                        (d1_recv >= quorum) | (d0_recv >= quorum)
+                        | (d1_recv >= t + 1) | (d0_recv >= t + 1)
+                    ).all(axis=1)
+                else:
+                    assigned_honest = (
+                        (d1_honest >= quorum) | (d0_honest >= quorum)
+                        | (d1_honest >= t + 1) | (d0_honest >= t + 1)
+                    )
                 if (running & ~assigned_honest).any():
                     shares = draw_committee_shares(
                         draw_fns, running, active[:, start:stop]
                     )
+            share_recv = None
             if shares is not None:
                 honest_sum = shares.sum(axis=1, dtype=np.int64)
+                if masked and self.coin == "committee":
+                    share_plane = np.zeros((len(orig), n), dtype=np.float32)
+                    share_plane[:, start:stop] = shares
+                    share_recv = receive_counts(share_plane, deliver2)
                 if kernel.needs_shares:
                     ctx.shares = shares
             else:
@@ -376,8 +490,12 @@ class PhaseEngine:
                 updatable = active & can_update
                 ctx.mutated = False
 
-            d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
-            d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
+            if masked:
+                d1 = d1_recv + np.asarray(effect2.decided_one)
+                d0 = d0_recv + np.asarray(effect2.decided_zero)
+            else:
+                d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
+                d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
             reach_q1 = d1 >= quorum
             reach_q0 = d0 >= quorum
             # `_best_value_reaching` tie-breaking (highest count wins, value 1
@@ -408,7 +526,12 @@ class PhaseEngine:
             coin_mask = updatable & coin_case
             if self.coin == "committee":
                 adj = np.asarray(effect2.shares)
-                if adj.ndim:
+                if masked:
+                    # Per-recipient share sums; the adversary's adjustments
+                    # are always delivered (worst case).
+                    assert share_recv is not None
+                    coin = (share_recv + adj) >= 0
+                elif adj.ndim:
                     # Work in the kernel's (narrower) adjustment dtype.
                     coin = (honest_sum.astype(adj.dtype)[:, None] + adj) >= 0
                 else:

@@ -19,10 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 #: Stream domain tags.  Keeping them well separated guarantees that node
-#: streams never collide with adversary or environment streams.
+#: streams never collide with adversary, environment or network streams.
 _NODE_DOMAIN = 0x01
 _ADVERSARY_DOMAIN = 0x02
 _ENVIRONMENT_DOMAIN = 0x03
+_NETWORK_DOMAIN = 0x04
 
 
 class RandomnessSource:
@@ -75,6 +76,16 @@ class RandomnessSource:
     def environment_stream(self) -> np.random.Generator:
         """Return the stream used for workload generation (inputs, shuffles)."""
         return self._stream(_ENVIRONMENT_DOMAIN, 0)
+
+    def network_stream(self) -> np.random.Generator:
+        """Return the stream used by the message-loss model.
+
+        The scheduler draws one ``(n, n)`` Bernoulli plane per round from
+        this stream when a positive per-edge ``loss`` is configured
+        (:func:`repro.topology.loss.sample_drops`); a dedicated domain keeps
+        node and adversary streams unchanged when loss is switched on.
+        """
+        return self._stream(_NETWORK_DOMAIN, 0)
 
     def spawn(self, offset: int) -> "RandomnessSource":
         """Derive a related but independent source (used for multi-trial sweeps).

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.adversary.base import Adversary, AdversaryView
 from repro.exceptions import (
     AgreementViolationError,
@@ -148,6 +150,15 @@ class SynchronousScheduler:
         strict_congest: Raise on CONGEST violations instead of recording them.
         allow_timeout: Return a timed-out :class:`RunResult` instead of
             raising when ``max_rounds`` is reached.
+        adjacency: Optional ``(n, n)`` boolean topology (:mod:`repro.topology`).
+            Directed pairs outside the graph are dropped every round — on top
+            of whatever per-recipient drops the adversary's action carries —
+            and never reach the CONGEST accounting.  ``None`` keeps the clique.
+        loss: Per-edge i.i.d. message-loss probability; each round draws one
+            ``(n, n)`` Bernoulli plane from ``loss_rng``.
+        loss_rng: Generator for the loss model (the run's
+            :meth:`repro.simulator.rng.RandomnessSource.network_stream`);
+            required when ``loss > 0``.
     """
 
     def __init__(
@@ -161,6 +172,9 @@ class SynchronousScheduler:
         congest_factor: int = 8,
         strict_congest: bool = False,
         allow_timeout: bool = False,
+        adjacency: np.ndarray | None = None,
+        loss: float = 0.0,
+        loss_rng: np.random.Generator | None = None,
     ):
         if not nodes:
             raise ConfigurationError("cannot run a simulation with zero nodes")
@@ -177,6 +191,22 @@ class SynchronousScheduler:
         self.context = dict(context or {})
         self.collect_trace = collect_trace
         self.allow_timeout = allow_timeout
+        from repro.topology.generators import validate_adjacency
+        from repro.topology.loss import validate_loss
+
+        self.loss = validate_loss(loss)
+        self.adjacency = (
+            validate_adjacency(adjacency, self.n) if adjacency is not None else None
+        )
+        if self.loss > 0.0 and loss_rng is None:
+            raise ConfigurationError("a positive loss needs a loss_rng network stream")
+        self.loss_rng = loss_rng
+        self._topology_drops: set[tuple[int, int]] = set()
+        if self.adjacency is not None:
+            from repro.topology.loss import sample_drops
+
+            # The static part of the drop set (loss-free: the whole of it).
+            self._topology_drops = sample_drops(self.adjacency, 0.0, self.n, None)
         self.network = CompleteNetwork(
             n=self.n,
             congest=CongestModel(n=self.n, congest_factor=congest_factor, strict=strict_congest),
@@ -260,8 +290,20 @@ class SynchronousScheduler:
             self.network.validate(action.messages, allowed_senders=set(corrupted_now))
             traffic.extend(action.messages)
 
-            # Step 4: synchronous delivery.
-            inboxes = self.network.deliver(round_index, traffic, drops=action.drops)
+            # Step 4: synchronous delivery.  Off-clique pairs and loss-sampled
+            # pairs are dropped on top of the adversary's per-recipient drops.
+            drops = action.drops
+            if self.loss > 0.0:
+                from repro.topology.loss import sample_drops
+
+                network_drops = sample_drops(
+                    self.adjacency, self.loss, self.n, self.loss_rng
+                )
+            else:
+                network_drops = self._topology_drops
+            if network_drops:
+                drops = set(drops) | network_drops if drops else network_drops
+            inboxes = self.network.deliver(round_index, traffic, drops=drops)
 
             # Step 5: honest nodes process their inboxes.
             for node_id in self._honest_ids():

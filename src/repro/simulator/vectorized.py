@@ -112,6 +112,9 @@ class VectorizedAgreementSimulator:
             when False it stops after ``params.num_phases`` phases and decides
             by exhaustion (the w.h.p. variant).
         max_phases: Safety cap for Las Vegas runs.
+        adjacency: Optional ``(n, n)`` boolean topology mask
+            (:mod:`repro.topology`); ``None`` runs the historical clique path.
+        loss: Per-edge i.i.d. message-loss probability.
     """
 
     n: int
@@ -120,6 +123,8 @@ class VectorizedAgreementSimulator:
     adversary: str = "straddle"
     las_vegas: bool = True
     max_phases: int | None = None
+    adjacency: np.ndarray | None = None
+    loss: float = 0.0
 
     def __post_init__(self) -> None:
         validate_n_t(self.n, self.t)
@@ -139,9 +144,14 @@ class VectorizedAgreementSimulator:
         n, t = self.n, self.t
         if inputs.shape != (n,):
             raise ConfigurationError(f"inputs must have shape ({n},), got {inputs.shape}")
-        if self.adversary not in ("none", "straddle"):
-            # The newer behaviours are implemented only once, in the batched
-            # path; a single trial is just a batch of one.
+        if (
+            self.adversary not in ("none", "straddle")
+            or self.adjacency is not None
+            or self.loss > 0.0
+        ):
+            # The newer behaviours and the masked communication planes are
+            # implemented only once, in the batched path; a single trial is
+            # just a batch of one.
             return self.run_batch(inputs[None, :], [rng])[0]
         committee_size = self.params.committee_size
         num_committees = max(1, math.ceil(n / committee_size))
@@ -343,6 +353,8 @@ class VectorizedAgreementSimulator:
             las_vegas=self.las_vegas,
             num_phases=self.params.num_phases,
             max_phases=self.max_phases,
+            adjacency=self.adjacency,
+            loss=self.loss,
         )
         state = engine.run_batch(inputs, rngs, kernel)
         evaluated = finalize_planes(
@@ -475,6 +487,8 @@ def build_vectorized_simulator(
     adversary: str = "straddle",
     alpha: float = 4.0,
     params: ProtocolParameters | None = None,
+    adjacency: np.ndarray | None = None,
+    loss: float = 0.0,
 ) -> VectorizedAgreementSimulator:
     """Construct the vectorised simulator for a named protocol configuration."""
     if params is None:
@@ -489,6 +503,7 @@ def build_vectorized_simulator(
     return VectorizedAgreementSimulator(
         n=n, t=t, params=params, adversary=adversary,
         las_vegas=protocol.endswith("las-vegas"),
+        adjacency=adjacency, loss=loss,
     )
 
 
@@ -505,6 +520,8 @@ def run_vectorized_trials(
     params: ProtocolParameters | None = None,
     batch: bool = True,
     trial_offset: int = 0,
+    adjacency: np.ndarray | None = None,
+    loss: float = 0.0,
 ) -> VectorizedAggregate:
     """Run several vectorised trials and aggregate them.
 
@@ -524,7 +541,8 @@ def run_vectorized_trials(
     if trials < 1:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     simulator = build_vectorized_simulator(
-        n, t, protocol=protocol, adversary=adversary, alpha=alpha, params=params
+        n, t, protocol=protocol, adversary=adversary, alpha=alpha, params=params,
+        adjacency=adjacency, loss=loss,
     )
     rngs = [trial_generator(seed, trial_offset + k) for k in range(trials)]
     input_rows = np.stack([_trial_inputs(n, inputs, rng) for rng in rngs])

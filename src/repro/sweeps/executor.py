@@ -100,6 +100,8 @@ def spec_keys(
             n=point.n,
             workers=workers,
             max_rounds=point.max_rounds,
+            topology=point.topology,
+            loss=point.loss,
         )
         pairs.append((point, point_key(point, engine_family(resolved))))
     return pairs

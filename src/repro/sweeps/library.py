@@ -111,6 +111,21 @@ SWEEP_LIBRARY: dict[str, SweepSpec] = {
             base_seed=7500,
         ),
         SweepSpec(
+            name="off-clique-ladder",
+            description="Committee family degradation off-clique: topology x loss ladder",
+            protocols=("committee-ba", "chor-coan", "rabin"),
+            adversaries=("null",),
+            inputs=("split",),
+            n_values=(24,),
+            t_specs=("tenth",),
+            topologies=("clique", "ring", "grid", "tree"),
+            losses=(0.0, 0.01, 0.05),
+            trials=3,
+            seed_policy="by-point",
+            base_seed=8300,
+            allow_timeout=True,
+        ),
+        SweepSpec(
             name="alpha-committee-grid",
             description="Committee-count constant alpha x budget grid for both committee protocols",
             protocols=("committee-ba", "chor-coan"),
@@ -153,6 +168,16 @@ def library_table() -> list[dict[str, object]]:
                 "protocols": ", ".join(spec.protocols),
                 "adversaries": ", ".join(spec.adversaries),
                 "n": ", ".join(str(n) for n in spec.n_values),
+                "topology x loss": (
+                    "clique"
+                    if spec.topologies == ("clique",) and spec.losses == (0.0,)
+                    else (
+                        ", ".join(spec.topologies)
+                        + " x loss {"
+                        + ", ".join(f"{loss:g}" for loss in spec.losses)
+                        + "}"
+                    )
+                ),
                 "description": spec.description,
             }
         )

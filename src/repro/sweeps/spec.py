@@ -100,6 +100,8 @@ class SweepPoint:
     alpha: float | None = None
     max_rounds: int | None = None
     allow_timeout: bool = False
+    topology: str = "clique"
+    loss: float = 0.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -117,10 +119,22 @@ class SweepPoint:
         validate_n_t(self.n, self.t)
         if self.trials < 1:
             raise ConfigurationError(f"trials must be positive, got {self.trials}")
+        from repro.topology import TOPOLOGIES, validate_loss
+
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; available: {sorted(TOPOLOGIES)}"
+            )
+        validate_loss(self.loss)
 
     def canonical(self) -> dict[str, Any]:
-        """The point as a plain, canonically-ordered dict (all fields)."""
-        return {
+        """The point as a plain, canonically-ordered dict.
+
+        The topology/loss axes are included *only when non-default*, so the
+        canonical text — and therefore every stored content key — of a
+        pre-axis clique point is unchanged and cached results stay valid.
+        """
+        data: dict[str, Any] = {
             "adversary": self.adversary,
             "allow_timeout": self.allow_timeout,
             "alpha": self.alpha,
@@ -132,6 +146,11 @@ class SweepPoint:
             "t": self.t,
             "trials": self.trials,
         }
+        if self.topology != "clique":
+            data["topology"] = self.topology
+        if self.loss > 0.0:
+            data["loss"] = self.loss
+        return data
 
     def canonical_text(self) -> str:
         """Canonical JSON of the point (the hashing input)."""
@@ -148,13 +167,20 @@ class SweepPoint:
             alpha=self.alpha,
             max_rounds=self.max_rounds,
             allow_timeout=self.allow_timeout,
+            topology=self.topology,
+            loss=self.loss,
         )
 
     def label(self) -> str:
-        return (
+        label = (
             f"{self.protocol}/{self.adversary}/{self.inputs}/"
             f"n={self.n}/t={self.t}/trials={self.trials}"
         )
+        if self.topology != "clique":
+            label += f"/{self.topology}"
+        if self.loss > 0.0:
+            label += f"/loss={self.loss:g}"
+        return label
 
     @classmethod
     def from_mapping(cls, data: Mapping[str, Any]) -> "SweepPoint":
@@ -180,10 +206,12 @@ class SweepSpec:
     """A declarative grid of sweep points.
 
     The grid is the cross product of the axes, expanded in a fixed
-    deterministic order (protocol, adversary, inputs, n, t, alpha — last
-    axis fastest); the seed policy assigns each point its ``base_seed``.
-    Validation happens at construction time, against the live protocol /
-    adversary / input / engine registries.
+    deterministic order (protocol, adversary, inputs, n, t, alpha, topology,
+    loss — last axis fastest; the topology/loss axes were appended last so
+    pre-existing single-topology grids expand in their historical order); the
+    seed policy assigns each point its ``base_seed``.  Validation happens at
+    construction time, against the live protocol / adversary / input /
+    topology / engine registries.
     """
 
     name: str
@@ -193,6 +221,8 @@ class SweepSpec:
     t_specs: tuple[int | str, ...]
     inputs: tuple[str, ...] = ("split",)
     alphas: tuple[float | None, ...] = (None,)
+    topologies: tuple[str, ...] = ("clique",)
+    losses: tuple[float, ...] = (0.0,)
     trials: int = 10
     seed_policy: str = "by-point"
     base_seed: int = 0
@@ -229,6 +259,19 @@ class SweepSpec:
                 resolve_t(t_spec, max(self.n_values))
         if not self.alphas:
             raise ConfigurationError("the alpha axis must not be empty")
+        from repro.topology import TOPOLOGIES, validate_loss
+
+        if not self.topologies:
+            raise ConfigurationError("the topology axis must not be empty")
+        for topology in self.topologies:
+            if topology not in TOPOLOGIES:
+                raise ConfigurationError(
+                    f"unknown topology {topology!r}; available: {sorted(TOPOLOGIES)}"
+                )
+        if not self.losses:
+            raise ConfigurationError("the loss axis must not be empty")
+        for loss in self.losses:
+            validate_loss(loss)
         if self.trials < 1:
             raise ConfigurationError(f"trials must be positive, got {self.trials}")
         if self.seed_policy not in SEED_POLICIES:
@@ -257,8 +300,11 @@ class SweepSpec:
         combos = itertools.product(
             self.protocols, self.adversaries, self.inputs,
             self.n_values, self.t_specs, self.alphas,
+            self.topologies, self.losses,
         )
-        for index, (protocol, adversary, inputs, n, t_spec, alpha) in enumerate(combos):
+        for index, (
+            protocol, adversary, inputs, n, t_spec, alpha, topology, loss
+        ) in enumerate(combos):
             t = resolve_t(t_spec, n)
             if self.seed_policy == "fixed":
                 base_seed = self.base_seed
@@ -267,7 +313,11 @@ class SweepSpec:
             else:  # by-point
                 base_seed = self.base_seed + index
             if self.fast_path_only and not vectorizable(
-                protocol, adversary, max_rounds=self.max_rounds
+                protocol,
+                adversary,
+                max_rounds=self.max_rounds,
+                topology=topology,
+                loss=loss,
             ):
                 continue
             points.append(
@@ -282,6 +332,8 @@ class SweepSpec:
                     alpha=alpha,
                     max_rounds=self.max_rounds,
                     allow_timeout=self.allow_timeout,
+                    topology=topology,
+                    loss=loss,
                 )
             )
         if not points:
@@ -292,19 +344,28 @@ class SweepSpec:
         return points
 
     def canonical(self) -> dict[str, Any]:
-        """The spec as a plain, canonically-ordered dict."""
+        """The spec as a plain, canonically-ordered dict.
+
+        Like :meth:`SweepPoint.canonical`, the topology/loss axes appear only
+        when non-default, so pre-axis specs keep their canonical text.
+        """
+        axes: dict[str, Any] = {
+            "protocol": list(self.protocols),
+            "adversary": list(self.adversaries),
+            "inputs": list(self.inputs),
+            "n": list(self.n_values),
+            "t": list(self.t_specs),
+            "alpha": list(self.alphas),
+        }
+        if self.topologies != ("clique",):
+            axes["topology"] = list(self.topologies)
+        if self.losses != (0.0,):
+            axes["loss"] = list(self.losses)
         return {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
-            "axes": {
-                "protocol": list(self.protocols),
-                "adversary": list(self.adversaries),
-                "inputs": list(self.inputs),
-                "n": list(self.n_values),
-                "t": list(self.t_specs),
-                "alpha": list(self.alphas),
-            },
+            "axes": axes,
             "trials": self.trials,
             "seed": {"policy": self.seed_policy, "base": self.base_seed},
             "engine": self.engine,
@@ -341,7 +402,10 @@ class SweepSpec:
         axes = data.get("axes")
         if not isinstance(axes, Mapping):
             raise ConfigurationError("a sweep spec needs an 'axes' mapping")
-        axis_names = {"protocol", "adversary", "inputs", "n", "t", "alpha"}
+        axis_names = {
+            "protocol", "adversary", "inputs", "n", "t", "alpha",
+            "topology", "loss",
+        }
         unknown_axes = set(axes) - axis_names
         if unknown_axes:
             raise ConfigurationError(f"unknown sweep axes: {sorted(unknown_axes)}")
@@ -370,6 +434,8 @@ class SweepSpec:
                 None if alpha is None else float(alpha)
                 for alpha in axis("alpha", (None,))
             ),
+            topologies=_string_tuple(axis("topology", ("clique",)), what="topology"),
+            losses=tuple(float(loss) for loss in axis("loss", (0.0,))),
             trials=int(data.get("trials", 10)),
             seed_policy=str(seed.get("policy", "by-point")),
             base_seed=int(seed.get("base", 0)),
@@ -430,6 +496,8 @@ def expand_rows(points: Iterable[SweepPoint]) -> list[dict[str, Any]]:
             "n": point.n,
             "t": point.t,
             "alpha": point.alpha,
+            "topology": point.topology,
+            "loss": point.loss,
             "trials": point.trials,
             "base_seed": point.base_seed,
         }

@@ -1,0 +1,99 @@
+"""Topology & message-loss axis.
+
+Named topology generators (:mod:`repro.topology.generators`) produce the
+boolean adjacency matrices that the masked communication planes of
+:class:`repro.simulator.phase_engine.PhaseEngine` and the object simulator's
+per-round drop sets are built from; :mod:`repro.topology.loss` supplies the
+shared i.i.d. per-edge message-loss model.  See ``docs/topologies.md`` for
+the scenario atlas (generator catalogue, masked-plane semantics and the
+degradation story off-clique).
+
+:func:`markdown_topology_catalogue` renders the generator catalogue as a
+marked markdown block — the exact content embedded in ``docs/topologies.md``
+between ``<!-- topologies:catalogue:begin/end -->`` markers and kept
+drift-free by ``tests/test_docs.py`` (the ``repro engines --markdown``
+pattern).
+"""
+
+from __future__ import annotations
+
+from repro.topology.counting import AdjacencyCounter
+from repro.topology.generators import (
+    DEFAULT_TOPOLOGY,
+    TOPOLOGIES,
+    TopologySpec,
+    build_topology,
+    chain,
+    clique,
+    degrees,
+    erdos_renyi,
+    grid2d,
+    is_connected,
+    ring,
+    star,
+    tree,
+    validate_adjacency,
+)
+from repro.topology.loss import sample_delivered, sample_drops, validate_loss
+
+__all__ = [
+    "AdjacencyCounter",
+    "DEFAULT_TOPOLOGY",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "build_topology",
+    "chain",
+    "clique",
+    "degrees",
+    "erdos_renyi",
+    "grid2d",
+    "is_connected",
+    "markdown_topology_catalogue",
+    "ring",
+    "sample_delivered",
+    "sample_drops",
+    "star",
+    "topology_catalogue_table",
+    "tree",
+    "validate_adjacency",
+    "validate_loss",
+]
+
+#: Reference size used for the catalogue's live connectivity/degree check.
+_CATALOGUE_N = 25
+
+
+def topology_catalogue_table() -> list[dict[str, object]]:
+    """One row per named topology (rendered by ``repro topologies``).
+
+    The ``connected@n=25`` and ``degree@n=25`` columns are *computed* from
+    the live generators at a reference size, so the documented catalogue can
+    never claim structure the code does not produce.
+    """
+    rows = []
+    for name, spec in TOPOLOGIES.items():
+        adjacency = build_topology(name, _CATALOGUE_N)
+        degs = degrees(adjacency)
+        rows.append(
+            {
+                "name": name,
+                "description": spec.description,
+                "degree": spec.degree,
+                "diameter": spec.diameter,
+                f"degree@n={_CATALOGUE_N}": f"{int(degs.min())}-{int(degs.max())}",
+                f"connected@n={_CATALOGUE_N}": "yes" if is_connected(adjacency) else "no",
+            }
+        )
+    return rows
+
+
+def markdown_topology_catalogue() -> str:
+    """The catalogue as a marked, embeddable markdown block."""
+    from repro.metrics.reporting import format_markdown_table
+
+    table = format_markdown_table(topology_catalogue_table())
+    return (
+        "<!-- topologies:catalogue:begin -->\n"
+        f"{table}\n"
+        "<!-- topologies:catalogue:end -->"
+    )

@@ -1,0 +1,289 @@
+"""Named topology generators producing boolean adjacency matrices.
+
+Every generator returns an ``(n, n)`` boolean adjacency matrix with two
+invariants the masked communication planes rely on:
+
+* **symmetry** — links are bidirectional (the synchronous CONGEST model of
+  the paper has undirected edges);
+* **a True diagonal** — a node always "hears" its own broadcast.  The
+  paper's protocols count a node's own value among the values it receives
+  (``repro.simulator.messages.broadcast`` defaults to ``include_self=True``),
+  so self-delivery is part of the adjacency, never of the loss model.
+
+The catalogue mirrors the topology axis of the related journal
+experiments: ``clique`` (the paper's own model — every simulation before
+this axis existed ran here), sparse line-like graphs (``chain``, ``ring``),
+hub-and-spoke (``star``), the 2-D ``grid``, the balanced binary ``tree``
+and seeded ``erdos-renyi`` random graphs.  All generators are deterministic
+functions of their arguments; Erdős–Rényi draws its edge set from a
+counter-based Philox stream keyed on ``(seed, n)``, so the same named
+configuration always yields the same graph on every machine.
+
+The registry :data:`TOPOLOGIES` is the single source of truth consumed by
+the CLI (``--topology``), the sweep axes (``SweepSpec.topologies``) and the
+generated catalogue table embedded in ``docs/topologies.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "TOPOLOGIES",
+    "TopologySpec",
+    "build_topology",
+    "chain",
+    "clique",
+    "degrees",
+    "erdos_renyi",
+    "grid2d",
+    "is_connected",
+    "ring",
+    "star",
+    "tree",
+    "validate_adjacency",
+]
+
+#: Default edge density of the named ``erdos-renyi`` registry entry.
+DEFAULT_ER_DENSITY = 0.5
+
+#: Default graph seed of the named ``erdos-renyi`` registry entry.
+DEFAULT_ER_SEED = 0
+
+
+def _base(n: int) -> np.ndarray:
+    """An edgeless ``(n, n)`` adjacency with the mandatory True diagonal."""
+    if n < 1:
+        raise ConfigurationError(f"a topology needs at least one node, got n={n}")
+    adjacency = np.zeros((n, n), dtype=bool)
+    np.fill_diagonal(adjacency, True)
+    return adjacency
+
+
+def clique(n: int) -> np.ndarray:
+    """The complete graph — the paper's own communication model."""
+    if n < 1:
+        raise ConfigurationError(f"a topology needs at least one node, got n={n}")
+    return np.ones((n, n), dtype=bool)
+
+
+def chain(n: int) -> np.ndarray:
+    """A path: node ``i`` is linked to ``i - 1`` and ``i + 1``."""
+    adjacency = _base(n)
+    idx = np.arange(n - 1)
+    adjacency[idx, idx + 1] = True
+    adjacency[idx + 1, idx] = True
+    return adjacency
+
+
+def ring(n: int) -> np.ndarray:
+    """A cycle: the chain with the two endpoints joined."""
+    adjacency = chain(n)
+    if n > 2:
+        adjacency[0, n - 1] = True
+        adjacency[n - 1, 0] = True
+    return adjacency
+
+
+def star(n: int) -> np.ndarray:
+    """Hub-and-spoke: node 0 is linked to every other node."""
+    adjacency = _base(n)
+    adjacency[0, :] = True
+    adjacency[:, 0] = True
+    return adjacency
+
+
+def grid2d(n: int) -> np.ndarray:
+    """A near-square 2-D grid over ``n`` nodes, row-major numbered.
+
+    The grid is ``rows x cols`` with ``cols = ceil(sqrt(n))``; the last row
+    may be partial, which keeps the generator total (it accepts any ``n``)
+    while preserving the grid's 2-to-4-neighbour degree structure.
+    """
+    adjacency = _base(n)
+    cols = max(1, math.ceil(math.sqrt(n)))
+    ids = np.arange(n)
+    right = ids[(ids % cols != cols - 1) & (ids + 1 < n)]
+    adjacency[right, right + 1] = True
+    adjacency[right + 1, right] = True
+    down = ids[ids + cols < n]
+    adjacency[down, down + cols] = True
+    adjacency[down + cols, down] = True
+    return adjacency
+
+
+def tree(n: int) -> np.ndarray:
+    """A balanced binary tree rooted at node 0 (heap numbering)."""
+    adjacency = _base(n)
+    children = np.arange(1, n)
+    parents = (children - 1) // 2
+    adjacency[parents, children] = True
+    adjacency[children, parents] = True
+    return adjacency
+
+
+def erdos_renyi(
+    n: int,
+    density: float = DEFAULT_ER_DENSITY,
+    seed: int = DEFAULT_ER_SEED,
+) -> np.ndarray:
+    """A seeded Erdős–Rényi graph: each undirected edge exists w.p. ``density``.
+
+    The edge set is drawn from the counter-based Philox stream keyed on
+    ``(seed, n)``, so a given ``(n, density, seed)`` triple always produces
+    the same graph — graph identity is part of the experiment configuration,
+    not of the per-trial randomness.  Connectivity is *not* guaranteed at low
+    densities; callers that require it should check :func:`is_connected`.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ConfigurationError(f"density must be in [0, 1], got {density}")
+    adjacency = _base(n)
+    rng = np.random.Generator(
+        np.random.Philox(key=np.array([seed, n], dtype=np.uint64))
+    )
+    upper = np.triu(rng.random((n, n)) < density, k=1)
+    return adjacency | upper | upper.T
+
+
+def validate_adjacency(adjacency: np.ndarray, n: int) -> np.ndarray:
+    """Check the masked-plane invariants and return a boolean copy.
+
+    Raises:
+        ConfigurationError: Wrong shape, an asymmetric matrix, or a node
+            that cannot hear itself (a False diagonal entry).
+    """
+    adjacency = np.asarray(adjacency)
+    if adjacency.shape != (n, n):
+        raise ConfigurationError(
+            f"adjacency must have shape ({n}, {n}), got {adjacency.shape}"
+        )
+    adjacency = adjacency.astype(bool)
+    if not np.array_equal(adjacency, adjacency.T):
+        raise ConfigurationError("adjacency must be symmetric (undirected links)")
+    if not adjacency.diagonal().all():
+        raise ConfigurationError(
+            "adjacency must have a True diagonal (self-delivery is mandatory)"
+        )
+    return adjacency
+
+
+def degrees(adjacency: np.ndarray) -> np.ndarray:
+    """Neighbour count per node, excluding the mandatory self-loop."""
+    adjacency = np.asarray(adjacency, dtype=bool)
+    return adjacency.sum(axis=1) - adjacency.diagonal().astype(np.int64)
+
+
+def is_connected(adjacency: np.ndarray) -> bool:
+    """True when the graph is connected (boolean-matmul frontier expansion)."""
+    adjacency = np.asarray(adjacency, dtype=bool)
+    n = adjacency.shape[0]
+    reached = np.zeros(n, dtype=bool)
+    reached[0] = True
+    while True:
+        frontier = (adjacency[reached].any(axis=0)) & ~reached
+        if not frontier.any():
+            return bool(reached.all())
+        reached |= frontier
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Registry record of one named topology generator.
+
+    Attributes:
+        name: Registry key (the ``--topology`` vocabulary).
+        build: ``n -> (n, n)`` boolean adjacency.
+        description: One-line summary shown in the generated catalogue.
+        degree: Human-readable degree structure (excluding the self-loop).
+        diameter: Human-readable diameter growth.
+        connected: Whether the generator guarantees a connected graph.
+    """
+
+    name: str
+    build: Callable[[int], np.ndarray]
+    description: str
+    degree: str
+    diameter: str
+    connected: bool = True
+
+
+#: All named topologies, in catalogue order (clique — the paper's model —
+#: first, then by decreasing density).
+TOPOLOGIES: dict[str, TopologySpec] = {
+    spec.name: spec
+    for spec in (
+        TopologySpec(
+            name="clique",
+            build=clique,
+            description="complete graph; the paper's synchronous CONGEST model",
+            degree="n - 1",
+            diameter="1",
+        ),
+        TopologySpec(
+            name="erdos-renyi",
+            build=lambda n: erdos_renyi(n, DEFAULT_ER_DENSITY, DEFAULT_ER_SEED),
+            description=(
+                f"seeded random graph, edge density {DEFAULT_ER_DENSITY} "
+                f"(Philox key (seed={DEFAULT_ER_SEED}, n))"
+            ),
+            degree="~ density * (n - 1)",
+            diameter="O(log n) w.h.p.",
+            connected=False,
+        ),
+        TopologySpec(
+            name="grid",
+            build=grid2d,
+            description="2-D grid, ceil(sqrt(n)) columns, row-major ids",
+            degree="2 - 4",
+            diameter="O(sqrt(n))",
+        ),
+        TopologySpec(
+            name="tree",
+            build=tree,
+            description="balanced binary tree rooted at node 0 (heap numbering)",
+            degree="1 - 3",
+            diameter="O(log n)",
+        ),
+        TopologySpec(
+            name="star",
+            build=star,
+            description="hub-and-spoke: node 0 linked to every other node",
+            degree="1 (leaves) / n - 1 (hub)",
+            diameter="2",
+        ),
+        TopologySpec(
+            name="ring",
+            build=ring,
+            description="cycle over the node ids",
+            degree="2",
+            diameter="n / 2",
+        ),
+        TopologySpec(
+            name="chain",
+            build=chain,
+            description="path over the node ids",
+            degree="1 (ends) / 2",
+            diameter="n - 1",
+        ),
+    )
+}
+
+#: The default (and always-exact) topology name.
+DEFAULT_TOPOLOGY = "clique"
+
+
+def build_topology(name: str, n: int) -> np.ndarray:
+    """Build the named topology's adjacency matrix for ``n`` nodes."""
+    try:
+        spec = TOPOLOGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; available: {sorted(TOPOLOGIES)}"
+        ) from None
+    return validate_adjacency(spec.build(n), n)

@@ -1,0 +1,105 @@
+"""The i.i.d. per-edge message-loss model.
+
+Loss is sampled per *directed* edge per communication round: a message from
+``j`` to ``i`` (``j != i``) is dropped independently with probability
+``loss``.  Self-delivery never fails — a node's own value is local state,
+not a network message — so the diagonal of every delivered-edge matrix is
+forced True.  Directed sampling (the ``j -> i`` and ``i -> j`` draws are
+independent) matches the object simulator, where each
+:class:`~repro.simulator.messages.Message` is dropped individually.
+
+Two consumers share this module:
+
+* the masked :class:`~repro.simulator.phase_engine.PhaseEngine` draws one
+  ``(n, n)`` uniform plane per (running trial, round) from the trial's own
+  Philox generator via :func:`sample_delivered` — trials draw only from
+  their own generators, so per-trial results stay independent of batching
+  and compaction, exactly like the committee share draws;
+* the object :class:`~repro.simulator.scheduler.SynchronousScheduler` turns
+  the same Bernoulli model into per-round ``(sender, recipient)`` drop sets
+  via :func:`sample_drops`, drawing from a dedicated network stream of the
+  run's :class:`~repro.simulator.rng.RandomnessSource`.
+
+The two paths consume *different* streams, so off-clique/lossy
+cross-validation between them is statistical, never bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["sample_delivered", "sample_drops", "validate_loss"]
+
+
+def validate_loss(loss: float) -> float:
+    """Validate a per-edge loss probability (``0 <= loss < 1``)."""
+    loss = float(loss)
+    if not 0.0 <= loss < 1.0:
+        raise ConfigurationError(
+            f"loss must be a probability in [0, 1), got {loss}"
+        )
+    return loss
+
+
+def sample_delivered(
+    adjacency: np.ndarray | None,
+    loss: float,
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    running: np.ndarray,
+) -> np.ndarray:
+    """One round's delivered-edge matrices for a batch of trials.
+
+    Args:
+        adjacency: ``(n, n)`` boolean topology, or ``None`` for the clique.
+        loss: Per-edge drop probability (> 0; the loss-free masked path uses
+            the constant adjacency directly and draws nothing).
+        n: Network size.
+        rngs: Per-trial generators; trial ``b`` draws one ``(n, n)`` uniform
+            plane — only if it is still running, so finished (compacted-away)
+            trials never consume loss randomness.
+        running: ``(B,)`` liveness mask.
+
+    Returns:
+        ``(B, n, n)`` boolean delivered-edge matrices: entry ``[b, j, i]`` is
+        True when ``j``'s round message reaches ``i`` in trial ``b``.  The
+        diagonal is always True; non-running rows are all-False (they carry
+        no traffic).
+    """
+    batch = len(running)
+    delivered = np.zeros((batch, n, n), dtype=bool)
+    for b in np.flatnonzero(running):
+        kept = rngs[b].random((n, n)) >= loss
+        if adjacency is not None:
+            kept &= adjacency
+        np.einsum("ii->i", kept)[:] = True
+        delivered[b] = kept
+    return delivered
+
+
+def sample_drops(
+    adjacency: np.ndarray | None,
+    loss: float,
+    n: int,
+    rng: np.random.Generator | None,
+) -> set[tuple[int, int]]:
+    """One round's ``(sender, recipient)`` drop set for the object simulator.
+
+    The complement view of :func:`sample_delivered`: every directed
+    non-self pair that is either outside the topology or loss-sampled away
+    this round.  One ``(n, n)`` uniform plane is drawn from ``rng`` per call
+    when ``loss > 0`` (none when the loss model is off), so the per-round
+    draw schedule is a deterministic function of the round count.
+    """
+    dropped = np.zeros((n, n), dtype=bool)
+    if adjacency is not None:
+        dropped |= ~adjacency
+    if loss > 0.0:
+        dropped |= rng.random((n, n)) < loss
+    np.einsum("ii->i", dropped)[:] = False
+    senders, recipients = np.nonzero(dropped)
+    return {(int(j), int(i)) for j, i in zip(senders, recipients)}

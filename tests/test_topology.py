@@ -1,0 +1,274 @@
+"""Unit tests for the topology generators and the per-edge loss model.
+
+The generators feed the masked communication planes of the vectorised
+engine and the object scheduler's drop sets, so the invariants checked here
+(symmetry, the mandatory True diagonal, connectivity, determinism) are
+exactly the ones `validate_adjacency` enforces and the engines rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology import (
+    DEFAULT_TOPOLOGY,
+    AdjacencyCounter,
+    TOPOLOGIES,
+    build_topology,
+    chain,
+    clique,
+    degrees,
+    erdos_renyi,
+    grid2d,
+    is_connected,
+    markdown_topology_catalogue,
+    ring,
+    sample_delivered,
+    sample_drops,
+    star,
+    topology_catalogue_table,
+    tree,
+    validate_adjacency,
+    validate_loss,
+)
+
+
+class TestGeneratorInvariants:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 25, 48])
+    def test_shape_symmetry_and_diagonal(self, name, n):
+        adjacency = build_topology(name, n)
+        assert adjacency.shape == (n, n)
+        assert adjacency.dtype == np.bool_
+        assert np.array_equal(adjacency, adjacency.T)
+        assert adjacency.diagonal().all()
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("n", [2, 7, 25, 48])
+    def test_every_named_topology_is_connected_at_test_sizes(self, name, n):
+        # erdos-renyi does not *guarantee* connectivity, but at density 0.5
+        # and these sizes it is (and the catalogue column would flag a
+        # regression at n=25).
+        assert is_connected(build_topology(name, n))
+
+    def test_default_topology_is_the_clique(self):
+        assert DEFAULT_TOPOLOGY == "clique"
+        assert build_topology("clique", 9).all()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            build_topology("torus", 9)
+
+    @pytest.mark.parametrize("builder", [clique, chain, ring, star, grid2d, tree])
+    def test_builders_reject_empty_networks(self, builder):
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            builder(0)
+
+
+class TestGeneratorStructure:
+    def test_clique_degrees(self):
+        assert (degrees(clique(10)) == 9).all()
+
+    def test_chain_degrees_and_endpoints(self):
+        degs = degrees(chain(10))
+        assert degs[0] == 1 and degs[-1] == 1
+        assert (degs[1:-1] == 2).all()
+
+    def test_ring_closes_the_chain(self):
+        adjacency = ring(10)
+        assert adjacency[0, 9] and adjacency[9, 0]
+        assert (degrees(adjacency) == 2).all()
+
+    def test_small_rings_have_no_duplicate_edge(self):
+        # n=2: the closing edge would duplicate the chain edge.
+        assert np.array_equal(ring(2), chain(2))
+
+    def test_star_hub_and_leaves(self):
+        degs = degrees(star(10))
+        assert degs[0] == 9
+        assert (degs[1:] == 1).all()
+
+    def test_grid_degree_range(self):
+        degs = degrees(grid2d(25))  # exact 5x5 grid
+        assert degs.min() == 2 and degs.max() == 4
+        # partial last row stays within the 2..4 band too
+        degs = degrees(grid2d(23))
+        assert degs.min() >= 1 and degs.max() <= 4
+
+    def test_tree_is_a_heap(self):
+        adjacency = tree(15)  # full binary tree of depth 3
+        degs = degrees(adjacency)
+        assert degs[0] == 2  # root
+        assert (degs[7:] == 1).all()  # leaves
+        assert adjacency[3, 7] and adjacency[3, 8]  # node 3's children
+
+    def test_erdos_renyi_is_deterministic_per_key(self):
+        a = erdos_renyi(30, density=0.5, seed=0)
+        b = erdos_renyi(30, density=0.5, seed=0)
+        assert np.array_equal(a, b)
+        c = erdos_renyi(30, density=0.5, seed=1)
+        assert not np.array_equal(a, c)
+
+    def test_erdos_renyi_density_extremes(self):
+        assert np.array_equal(erdos_renyi(12, density=0.0), np.eye(12, dtype=bool))
+        assert erdos_renyi(12, density=1.0).all()
+        with pytest.raises(ConfigurationError, match="density"):
+            erdos_renyi(12, density=1.5)
+
+
+class TestValidateAdjacency:
+    def test_accepts_and_casts_to_bool(self):
+        out = validate_adjacency(np.ones((4, 4), dtype=np.int64), 4)
+        assert out.dtype == np.bool_ and out.all()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            validate_adjacency(np.ones((3, 4), dtype=bool), 4)
+
+    def test_rejects_asymmetric(self):
+        bad = np.eye(4, dtype=bool)
+        bad[0, 1] = True
+        with pytest.raises(ConfigurationError, match="symmetric"):
+            validate_adjacency(bad, 4)
+
+    def test_rejects_false_diagonal(self):
+        bad = np.ones((4, 4), dtype=bool)
+        bad[2, 2] = False
+        with pytest.raises(ConfigurationError, match="diagonal"):
+            validate_adjacency(bad, 4)
+
+
+class TestLossModel:
+    def test_validate_loss_bounds(self):
+        assert validate_loss(0.0) == 0.0
+        assert validate_loss(0.25) == 0.25
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(ConfigurationError, match="loss"):
+                validate_loss(bad)
+
+    def test_sample_delivered_respects_adjacency_and_diagonal(self):
+        adjacency = ring(8)
+        rngs = [np.random.default_rng(k) for k in range(3)]
+        running = np.array([True, False, True])
+        delivered = sample_delivered(adjacency, 0.4, 8, rngs, running)
+        assert delivered.shape == (3, 8, 8)
+        # non-running trials carry no traffic
+        assert not delivered[1].any()
+        for b in (0, 2):
+            assert (delivered[b] <= adjacency).all()  # never off-graph
+            assert delivered[b].diagonal().all()  # self-delivery never fails
+
+    def test_sample_delivered_draws_only_from_running_generators(self):
+        adjacency = clique(6)
+        running = np.array([True, False])
+        rngs = [np.random.default_rng(7), np.random.default_rng(9)]
+        sample_delivered(adjacency, 0.3, 6, rngs, running)
+        # trial 1 was skipped: its generator must be untouched
+        fresh = np.random.default_rng(9)
+        assert rngs[1].random() == fresh.random()
+
+    def test_sample_drops_is_the_complement_view(self):
+        adjacency = star(6)
+        drops = sample_drops(adjacency, 0.0, 6, None)
+        # exactly the directed non-edges, no self-pairs
+        expected = {
+            (j, i)
+            for j in range(6)
+            for i in range(6)
+            if j != i and not adjacency[j, i]
+        }
+        assert drops == expected
+
+    def test_sample_drops_consumes_rng_only_when_lossy(self):
+        rng = np.random.default_rng(5)
+        sample_drops(ring(6), 0.0, 6, None)  # no rng needed at loss=0
+        before = rng.bit_generator.state
+        sample_drops(ring(6), 0.5, 6, rng)
+        assert rng.bit_generator.state != before
+
+    def test_lossy_clique_drops_are_plausible(self):
+        rng = np.random.default_rng(123)
+        total = sum(len(sample_drops(None, 0.5, 20, rng)) for _ in range(50))
+        # 20*19 directed pairs, p=0.5, 50 rounds -> mean 9500
+        assert 8500 < total < 10500
+
+
+class TestAdjacencyCounter:
+    """The masked-plane tally engine: every strategy must agree, exactly,
+    with the dense integer reference ``plane @ A``."""
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 48])
+    def test_counts_match_the_dense_reference(self, name, n):
+        adjacency = build_topology(name, n)
+        counter = AdjacencyCounter(adjacency)
+        reference = adjacency.astype(np.int64)
+        rng = np.random.default_rng(n)
+        plane = rng.integers(0, 2, size=(7, n)).astype(bool)
+        counts = counter.receive_counts(plane)
+        assert counts.dtype == np.int64
+        assert np.array_equal(
+            np.broadcast_to(counts, (7, n)), plane.astype(np.int64) @ reference
+        )
+        senders = rng.integers(0, 2, size=(7, n)).astype(bool)
+        assert np.array_equal(
+            counter.delivered_edges(senders),
+            senders.astype(np.int64) @ adjacency.sum(axis=1),
+        )
+
+    @pytest.mark.parametrize("name,strategy", [
+        ("clique", "complement"),
+        ("ring", "direct"),
+        ("chain", "direct"),
+        ("star", "direct"),
+        ("grid", "direct"),
+        ("tree", "direct"),
+        ("erdos-renyi", "dense"),
+    ])
+    def test_strategy_selection_follows_density(self, name, strategy):
+        assert AdjacencyCounter(build_topology(name, 48)).strategy == strategy
+
+    def test_complete_graph_returns_a_broadcastable_column(self):
+        counter = AdjacencyCounter(np.ones((9, 9), dtype=bool))
+        plane = np.eye(9, dtype=bool)[:4]
+        counts = counter.receive_counts(plane)
+        assert counts.shape == (4, 1)
+        assert (counts == 1).all()
+
+    def test_near_clique_scatters_around_empty_complement_columns(self):
+        # All-True minus one edge: the complement has entries in exactly two
+        # columns, so the segment scatter must leave the rest untouched.
+        adjacency = np.ones((10, 10), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = False
+        counter = AdjacencyCounter(adjacency)
+        assert counter.strategy == "complement"
+        rng = np.random.default_rng(3)
+        plane = rng.integers(0, 2, size=(5, 10)).astype(bool)
+        assert np.array_equal(
+            counter.receive_counts(plane),
+            plane.astype(np.int64) @ adjacency.astype(np.int64),
+        )
+
+    def test_signed_share_planes_are_counted_exactly(self):
+        # Coin shares are ±1 float32 values, not booleans.
+        adjacency = build_topology("ring", 12)
+        counter = AdjacencyCounter(adjacency)
+        rng = np.random.default_rng(7)
+        shares = (rng.integers(0, 2, size=(6, 12)) * 2 - 1).astype(np.float32)
+        assert np.array_equal(
+            counter.receive_counts(shares),
+            shares.astype(np.int64) @ adjacency.astype(np.int64),
+        )
+
+
+class TestCatalogue:
+    def test_table_has_one_row_per_topology_in_registry_order(self):
+        rows = topology_catalogue_table()
+        assert [row["name"] for row in rows] == list(TOPOLOGIES)
+
+    def test_markdown_block_is_marked(self):
+        block = markdown_topology_catalogue()
+        assert block.startswith("<!-- topologies:catalogue:begin -->\n")
+        assert block.endswith("<!-- topologies:catalogue:end -->")
