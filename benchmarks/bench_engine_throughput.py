@@ -31,6 +31,13 @@ SWEEP_T = 250
 #: the floor leaves headroom for noisy CI machines.
 MIN_BATCH_SPEEDUP = 3.5
 
+#: Regression floor for the bit-packed plane backend against the numpy-bool
+#: reference on the same sweep.  The word ops themselves are 4-5x cheaper
+#: (see ``bench_planeops.py``), but the end-to-end run is bounded by the
+#: per-trial Philox share draws, leaving ~1.2-1.3x measured; the floor only
+#: demands that packed never regresses below parity.
+MIN_PACKED_SPEEDUP = 1.0
+
 
 def test_object_engine_single_run(benchmark):
     """One attacked execution at n=48 in the faithful object-level simulator."""
@@ -109,6 +116,63 @@ def test_batched_vs_per_trial_loop_speedup():
     assert speedup >= MIN_BATCH_SPEEDUP, (
         f"batched engine only {speedup:.2f}x faster than the per-trial loop "
         f"(floor {MIN_BATCH_SPEEDUP}x)"
+    )
+
+
+def test_packed_backend_bit_identical_and_not_slower():
+    """The packed plane backend on the engine-throughput sweep.
+
+    Runs the exact ``trials=100, n=2000`` sweep of the batched-speedup test
+    under the ``numpy`` reference backend and the ``packed`` uint64 backend
+    on the same ``(seed, k)`` Philox keys, asserts the per-trial results are
+    bit-identical, and records the measured packed speedup as a floor.
+    """
+    kwargs = dict(
+        protocol="committee-ba-las-vegas", adversary="straddle", inputs="split",
+        trials=SWEEP_TRIALS, seed=17,
+    )
+    timings = {}
+    for backend in ("numpy", "packed"):
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            aggregate = run_vectorized_trials(
+                SWEEP_N, SWEEP_T, backend=backend, **kwargs
+            )
+            best = min(best, time.perf_counter() - started)
+        timings[backend] = (best, aggregate)
+
+    numpy_s, reference = timings["numpy"]
+    packed_s, packed = timings["packed"]
+    assert packed.results == reference.results, (
+        "the packed backend must be bit-identical to the numpy reference"
+    )
+    speedup = numpy_s / packed_s
+    print(
+        f"\npacked backend (trials={SWEEP_TRIALS}, n={SWEEP_N}, t={SWEEP_T}): "
+        f"numpy {numpy_s * 1000:.1f} ms, packed {packed_s * 1000:.1f} ms, "
+        f"speedup {speedup:.2f}x (identical results)"
+    )
+    from benchmarks.harness import update_summary
+
+    update_summary(
+        "engine-throughput/packed-backend",
+        {
+            "kind": "throughput",
+            "protocol": "committee-ba-las-vegas",
+            "adversary": "straddle",
+            "n": SWEEP_N,
+            "t": SWEEP_T,
+            "trials": SWEEP_TRIALS,
+            "numpy_seconds": numpy_s,
+            "packed_seconds": packed_s,
+            "speedup": speedup,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= MIN_PACKED_SPEEDUP, (
+        f"packed backend ran {speedup:.2f}x the numpy reference "
+        f"(floor {MIN_PACKED_SPEEDUP}x)"
     )
 
 

@@ -15,8 +15,13 @@ benchmark pins the result three ways:
 * a **ring** run at the same size times the sparse ``direct`` strategy
   without a bar: the degree-2 graph livelocks trials to the phase bound by
   design, so its wall-clock mixes per-phase cost with a larger phase count;
-* the **lossy path** is measured at ``n=128`` without a bar: its per-trial
-  ``(n, n)`` delivered-edge draws dominate and scale with the phase count.
+* the **lossy path** is measured at ``n=128`` against a regression ceiling:
+  its cost is the per-trial ``(n, n)`` Philox delivered-edge draws — volume
+  the bit-identity contract fixes, so the buffered ``sample_delivered``
+  (reused float32 delivered batch and per-trial scratch, no per-round
+  allocation churn) trims only the non-draw overhead (~5%), and the ceiling
+  guards against *structural* regressions (sampling for finished trials,
+  extra full-batch passes) rather than the buffer itself.
 
 All measurements are folded into ``benchmarks/results/summary.json`` for
 cross-PR trajectory tracking.
@@ -46,6 +51,15 @@ LOSSY_T = 16
 
 #: Acceptance bar: masked all-True adjacency vs the unmasked clique path.
 MAX_MASKED_OVERHEAD = 2.0
+
+#: Regression ceiling for the lossy path at n=128.  The path is bound by
+#: the per-trial (n, n) Philox draws the bit-identity contract prescribes
+#: (~40-45x over the loss-free clique regardless of buffering; the buffered
+#: ``sample_delivered`` trims the per-round allocation churn on top).  The
+#: denominator is a ~10 ms run, so the ceiling leaves wide noise headroom
+#: and catches only structural blow-ups: sampling for finished trials,
+#: per-round full-batch allocations or casts coming back.
+MAX_LOSSY_OVERHEAD = 60.0
 
 
 def _run(n, t, adjacency=None, loss=0.0, repeats=3):
@@ -114,4 +128,9 @@ def test_masked_clique_overhead_is_bounded_and_bit_identical():
     assert overhead <= MAX_MASKED_OVERHEAD, (
         f"masked all-True adjacency path is {overhead:.2f}x the unmasked "
         f"clique path at n={BENCH_N} (bar {MAX_MASKED_OVERHEAD}x)"
+    )
+    assert lossy_overhead <= MAX_LOSSY_OVERHEAD, (
+        f"lossy path is {lossy_overhead:.2f}x the loss-free clique at "
+        f"n={LOSSY_N} (ceiling {MAX_LOSSY_OVERHEAD}x; the draw-bound "
+        "buffered sample_delivered measures ~40-45x)"
     )

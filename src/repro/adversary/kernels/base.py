@@ -61,7 +61,6 @@ from repro.core.parameters import ProtocolParameters
 CountPlane = int | np.ndarray
 
 
-@dataclass
 class KernelContext:
     """The engine state a kernel hook may read — and, for corruption, mutate.
 
@@ -70,6 +69,18 @@ class KernelContext:
     and ``active[b, v] = False`` and decrementing ``budget[b]`` — the same
     three-way bookkeeping the engine's built-in straddle uses.  Everything
     else must be treated as read-only.
+
+    The five boolean planes may be constructed either from plain ``(B, n)``
+    arrays (the baseline kernels and the test-suite do this) or from
+    :class:`repro.simulator.planes.base.Plane` handles (the engine does,
+    when running a non-default backend).  Either way the attributes resolve
+    to boolean arrays — plane handles are unpacked *lazily, per access*, so
+    a hook that never reads ``value`` never pays for unpacking it, and a
+    hook reading a plane the engine updated since the last hook sees the
+    fresh state.  Kernels that mutate a plane in place outside
+    :meth:`corrupt` must call the handle's ``mark_bools_dirty`` themselves
+    (no current kernel does; :meth:`corrupt` is the single mutation choke
+    point and handles the bookkeeping).
 
     Attributes:
         n / t: Network size and corruption budget of the configuration.
@@ -100,26 +111,84 @@ class KernelContext:
             cannot influence the run.
     """
 
-    n: int
-    t: int
-    params: ProtocolParameters
-    phase: int
-    committee_start: int
-    committee_stop: int
-    value: np.ndarray
-    decided: np.ndarray
-    active: np.ndarray
-    corrupted: np.ndarray
-    can_update: np.ndarray
-    budget: np.ndarray
-    messages: np.ndarray
-    running: np.ndarray
-    rngs: Sequence[np.random.Generator] | None = None
-    shares: np.ndarray | None = None
-    coin: str = "committee"
-    #: Set by :meth:`corrupt`; the engine clears it after re-tallying, so
-    #: hooks that corrupt nobody cost no redundant plane reductions.
-    mutated: bool = False
+    #: The plane-valued attributes, resolved through :meth:`_plane_bools`.
+    _PLANE_FIELDS = ("value", "decided", "active", "corrupted", "can_update")
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        params: ProtocolParameters,
+        phase: int,
+        committee_start: int,
+        committee_stop: int,
+        value: np.ndarray,
+        decided: np.ndarray,
+        active: np.ndarray,
+        corrupted: np.ndarray,
+        can_update: np.ndarray,
+        budget: np.ndarray,
+        messages: np.ndarray,
+        running: np.ndarray,
+        rngs: Sequence[np.random.Generator] | None = None,
+        shares: np.ndarray | None = None,
+        coin: str = "committee",
+        mutated: bool = False,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.params = params
+        self.phase = phase
+        self.committee_start = committee_start
+        self.committee_stop = committee_stop
+        # Arrays pass through as-is; Plane handles resolve via .bools().
+        self._planes = {
+            "value": value,
+            "decided": decided,
+            "active": active,
+            "corrupted": corrupted,
+            "can_update": can_update,
+        }
+        self.budget = budget
+        self.messages = messages
+        self.running = running
+        self.rngs = rngs
+        self.shares = shares
+        self.coin = coin
+        #: Set by :meth:`corrupt`; the engine clears it after re-tallying, so
+        #: hooks that corrupt nobody cost no redundant plane reductions.
+        self.mutated = mutated
+
+    def _plane_bools(self, name: str) -> np.ndarray:
+        plane = self._planes[name]
+        if isinstance(plane, np.ndarray):
+            return plane
+        return plane.bools()
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._plane_bools("value")
+
+    @property
+    def decided(self) -> np.ndarray:
+        return self._plane_bools("decided")
+
+    @property
+    def active(self) -> np.ndarray:
+        return self._plane_bools("active")
+
+    @property
+    def corrupted(self) -> np.ndarray:
+        return self._plane_bools("corrupted")
+
+    @property
+    def can_update(self) -> np.ndarray:
+        return self._plane_bools("can_update")
+
+    def _mark_plane_dirty(self, name: str) -> None:
+        plane = self._planes[name]
+        if not isinstance(plane, np.ndarray):
+            plane.mark_bools_dirty()
 
     @property
     def committee_mask(self) -> np.ndarray:
@@ -150,6 +219,8 @@ class KernelContext:
         columns = slice(start, stop)
         self.corrupted[:, columns] |= new_corrupt
         self.active[:, columns] &= ~new_corrupt
+        self._mark_plane_dirty("corrupted")
+        self._mark_plane_dirty("active")
         if count is None:
             count = np.count_nonzero(new_corrupt, axis=1)
         self.budget -= count

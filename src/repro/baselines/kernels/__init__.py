@@ -75,6 +75,12 @@ class KernelSpec:
         supports_topology: Kernel accepts ``adjacency``/``loss`` kwargs (the
             masked communication planes of :mod:`repro.topology`); protocols
             without it run off-clique configurations on the object path only.
+        supports_backend: Kernel accepts a ``backend`` kwarg selecting the
+            plane representation (:mod:`repro.simulator.planes`).  True for
+            everything on the shared :class:`~repro.simulator.phase_engine.
+            PhaseEngine` loop; the closed-form kernels have no plane state to
+            represent.  Backends are bit-identical, so the flag never enters
+            sweep-store keys.
         protocol_kwargs: Protocol constructor kwargs the kernel reproduces;
             any other kwarg forces the object path.
     """
@@ -88,6 +94,7 @@ class KernelSpec:
     supports_params: bool = False
     supports_max_rounds: bool = False
     supports_topology: bool = False
+    supports_backend: bool = False
     protocol_kwargs: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
@@ -116,6 +123,7 @@ BASELINE_KERNELS: dict[str, KernelSpec] = {
             {"null", "none", "silent", "static", "equivocate", "committee-targeting"}
         ),
         supports_topology=True,
+        supports_backend=True,
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "ben-or": KernelSpec(
@@ -124,6 +132,7 @@ BASELINE_KERNELS: dict[str, KernelSpec] = {
         hooks=SKELETON_HOOKS,
         supports_max_rounds=True,
         supports_topology=True,
+        supports_backend=True,
         protocol_kwargs=frozenset({"phases_factor"}),
     ),
     "phase-king": KernelSpec(

@@ -41,6 +41,7 @@ def run_ben_or_trials(
     trial_offset: int = 0,
     adjacency=None,
     loss: float = 0.0,
+    backend: str | None = None,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Ben-Or's protocol.
 
@@ -67,6 +68,7 @@ def run_ben_or_trials(
         max_phases=max(1, cap_rounds // 2),
         adjacency=adjacency,
         loss=loss,
+        backend=backend,
     )
     results = finalize_planes(
         n,

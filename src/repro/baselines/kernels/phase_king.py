@@ -130,6 +130,10 @@ def run_phase_king_trials(
     bits = np.zeros(batch, dtype=np.int64)
     running = np.ones(batch, dtype=bool)
     zero_counts = np.zeros(batch, dtype=np.int64)
+    # Reusable float32 delivered-edge buffer for the lossy round-1 draw
+    # (round 2 keeps the boolean form: the king's row is sliced, not
+    # contracted).
+    deliver_buf: np.ndarray | None = None
 
     def context(phase: int, king: int) -> KernelContext:
         return KernelContext(
@@ -150,8 +154,10 @@ def run_phase_king_trials(
         # ---------------- Round 1: universal exchange ----------------
         deliver1 = None
         if masked and loss > 0.0:
-            deliver1 = sample_delivered(adjacency, loss, n, rngs, running).astype(
-                np.float32
+            if deliver_buf is None:
+                deliver_buf = np.empty((batch, n, n), dtype=np.float32)
+            deliver1 = sample_delivered(
+                adjacency, loss, n, rngs, running, out=deliver_buf
             )
         ones_pre = row_popcount(value & active)
         sender_count = row_popcount(active)

@@ -85,6 +85,7 @@ def run_phase_skeleton_batch(
     dealer_seeds: Sequence[int] | None = None,
     adjacency: np.ndarray | None = None,
     loss: float = 0.0,
+    backend: str | None = None,
 ) -> dict[str, np.ndarray]:
     """Execute ``B`` trials of the two-round phase skeleton simultaneously.
 
@@ -107,6 +108,8 @@ def run_phase_skeleton_batch(
         adjacency: Optional ``(n, n)`` boolean topology mask
             (:mod:`repro.topology`); ``None`` keeps the clique path.
         loss: Per-edge i.i.d. message-loss probability.
+        backend: Plane-backend selection for the engine
+            (:mod:`repro.simulator.planes`); bit-identical across backends.
 
     Returns:
         The final state planes plus per-trial counters, with the skeleton's
@@ -125,6 +128,7 @@ def run_phase_skeleton_batch(
         dealer_seeds=dealer_seeds,
         adjacency=adjacency,
         loss=loss,
+        backend=backend,
     )
     state = engine.run_batch(inputs, rngs, kernel)
     state["bits"] = state["messages"] * ROUND_PAYLOAD_BITS

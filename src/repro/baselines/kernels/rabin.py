@@ -36,6 +36,7 @@ def run_rabin_trials(
     trial_offset: int = 0,
     adjacency=None,
     loss: float = 0.0,
+    backend: str | None = None,
 ) -> VectorizedAggregate:
     """Run ``trials`` batched executions of Rabin's protocol.
 
@@ -63,6 +64,7 @@ def run_rabin_trials(
         dealer_seeds=[seed + trial_offset + k for k in range(trials)],
         adjacency=adjacency,
         loss=loss,
+        backend=backend,
     )
     results = finalize_planes(
         n,

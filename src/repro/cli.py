@@ -87,6 +87,7 @@ from repro.engine import (
 )
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
+from repro.simulator.planes import DEFAULT_BACKEND, ENV_VAR, available_backends
 from repro.topology import TOPOLOGIES
 
 
@@ -137,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="process count for multi-process sweeps; a value "
                                     "> 1 shards vectorized sweeps by trial range and "
                                     "fans object sweeps out by seed range")
+    trials_parser.add_argument("--backend", choices=list(available_backends()),
+                               default=None,
+                               help="plane backend for the vectorized kernels "
+                                    "(default: $REPRO_PLANE_BACKEND, then numpy); "
+                                    "all backends are bit-identical")
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the E1-E10 experiment tables"
@@ -187,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument("--workers", type=int, default=None,
                            help="process count; > 1 shards vectorized points by "
                                 "trial range (bit-identical to single-process)")
+    sweep_run.add_argument("--backend", choices=list(available_backends()),
+                           default=None,
+                           help="plane backend for the vectorized kernels; "
+                                "bit-identical, so cached points computed under "
+                                "any backend are reused")
     sweep_run.add_argument("--limit", type=int, default=None,
                            help="execute at most this many pending points, leaving "
                                 "the rest for a later (resumed) invocation")
@@ -250,7 +261,7 @@ def _command_trials(args: argparse.Namespace) -> int:
         engine = "object-mp"
     trials = run_sweep(
         experiment=experiment, trials=args.trials, base_seed=args.seed,
-        engine=engine, workers=args.workers,
+        engine=engine, workers=args.workers, backend=args.backend,
     )
     row = {"engine": trials.engine, **collect_trials_metrics(trials)}
     print(format_table([row]))
@@ -281,6 +292,10 @@ def _command_engines(args: argparse.Namespace) -> int:
     print(format_table(kernel_support_table()))
     print("\nprotocol x adversary dispatch (--engine auto):")
     print(format_table(dispatch_table()))
+    # Runtime registry line (not part of the drift-guarded markdown blocks:
+    # optional accelerator backends vary by installed toolchain).
+    print(f"\nplane backends available: {', '.join(available_backends())} "
+          f"(default {DEFAULT_BACKEND}; select with --backend or ${ENV_VAR})")
     return 0
 
 
@@ -377,7 +392,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
             report = run_spec(
                 spec, store=store, engine=args.engine,
-                workers=args.workers, limit=args.limit, progress=progress,
+                workers=args.workers, backend=args.backend,
+                limit=args.limit, progress=progress,
             )
             print(report.summary_line())
             return 0

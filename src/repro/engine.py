@@ -106,6 +106,7 @@ def _committee_spec(protocol: str) -> KernelSpec:
         exact=_COMMITTEE_EXACT,
         supports_params=True,
         supports_topology=True,
+        supports_backend=True,
         protocol_kwargs=frozenset({"alpha"}),
     )
 
@@ -282,6 +283,7 @@ def _run_vectorized_sweep(
     base_seed: int,
     params: ProtocolParameters | None,
     trial_offset: int = 0,
+    backend: str | None = None,
 ) -> list[TrialSummary]:
     """Batched kernel sweep, summarised in the object-sweep format.
 
@@ -304,6 +306,11 @@ def _run_vectorized_sweep(
             kwargs.setdefault("alpha", 4.0)
     if spec.supports_max_rounds and experiment.max_rounds is not None:
         kwargs["max_rounds"] = experiment.max_rounds
+    # Backends are bit-identical, so the choice is pure execution policy:
+    # it never reaches the sweep-store keys, and kernels without plane state
+    # (closed-form tallies) simply ignore it by not receiving it.
+    if spec.supports_backend and backend is not None:
+        kwargs["backend"] = backend
     # The clique/loss-free default passes *no* masking kwargs, keeping the
     # historical code path (and its results) bit for bit.
     if experiment.topology != "clique" or experiment.loss > 0.0:
@@ -345,11 +352,15 @@ def _run_vectorized_sweep(
 
 
 def _vectorized_shard(
-    payload: tuple[AgreementExperiment, int, int, ProtocolParameters | None, int],
+    payload: tuple[
+        AgreementExperiment, int, int, ProtocolParameters | None, int, str | None
+    ],
 ) -> list[TrialSummary]:
     """Worker entry point: one contiguous trial range of a sharded sweep."""
-    experiment, count, base_seed, params, trial_offset = payload
-    return _run_vectorized_sweep(experiment, count, base_seed, params, trial_offset)
+    experiment, count, base_seed, params, trial_offset, backend = payload
+    return _run_vectorized_sweep(
+        experiment, count, base_seed, params, trial_offset, backend
+    )
 
 
 def _run_vectorized_sharded(
@@ -358,6 +369,7 @@ def _run_vectorized_sharded(
     base_seed: int,
     params: ProtocolParameters | None,
     workers: int | None,
+    backend: str | None = None,
 ) -> list[TrialSummary]:
     """The batched kernel sweep sharded over processes by trial range.
 
@@ -371,10 +383,10 @@ def _run_vectorized_sharded(
     pool_size = workers if workers is not None else (os.cpu_count() or 1)
     pool_size = max(1, min(pool_size, trials))
     if pool_size == 1:
-        return _run_vectorized_sweep(experiment, trials, base_seed, params)
+        return _run_vectorized_sweep(experiment, trials, base_seed, params, 0, backend)
     size = -(-trials // pool_size)
     shards = [
-        (experiment, min(size, trials - start), base_seed, params, start)
+        (experiment, min(size, trials - start), base_seed, params, start, backend)
         for start in range(0, trials, size)
     ]
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
@@ -403,6 +415,7 @@ def run_sweep(
     allow_timeout: bool = False,
     topology: str = "clique",
     loss: float = 0.0,
+    backend: str | None = None,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> SweepResult:
@@ -429,6 +442,12 @@ def run_sweep(
         trials: Number of independent trials; trial ``k`` uses master seed
             ``base_seed + k`` (object engines) or Philox key
             ``(base_seed, k)`` (vectorised kernels).
+        backend: Plane-backend selection for the vectorised kernels (a
+            :func:`repro.simulator.planes.available_backends` name; ``None``
+            defers to ``$REPRO_PLANE_BACKEND`` then ``numpy``).  Backends
+            are bit-identical, so results — and sweep-store cache keys —
+            never depend on it; the object engines and closed-form kernels
+            have no planes and ignore it.
 
     Returns:
         A :class:`SweepResult` whose ``trials`` list and aggregate properties
@@ -480,10 +499,12 @@ def run_sweep(
         )
 
     if chosen == "vectorized":
-        summaries = _run_vectorized_sweep(experiment, trials, base_seed, params)
+        summaries = _run_vectorized_sweep(
+            experiment, trials, base_seed, params, 0, backend
+        )
     elif chosen == "vectorized-mp":
         summaries = _run_vectorized_sharded(
-            experiment, trials, base_seed, params, workers
+            experiment, trials, base_seed, params, workers, backend
         )
     else:
         summaries = _run_object_sweep(
@@ -594,6 +615,7 @@ def kernel_support_table() -> list[dict[str, str]]:
                     "inapplicable": "-",
                     "object only": "-",
                     "max_rounds": "-",
+                    "plane backend": "-",
                 }
             )
             continue
@@ -615,6 +637,13 @@ def kernel_support_table() -> list[dict[str, str]]:
                 "object only": ", ".join(unmodelled) if unmodelled else "-",
                 "max_rounds": "yes" if spec.supports_max_rounds else "object only",
                 "topology/loss": "masked" if spec.supports_topology else "object only",
+                # Deliberately backend-*kind*, not the runtime registry: the
+                # docs embed this table byte-for-byte, and optional
+                # accelerator backends must not cause drift where they
+                # happen to be importable.
+                "plane backend": (
+                    "selectable" if spec.supports_backend else "numpy-bool"
+                ),
             }
         )
     return rows

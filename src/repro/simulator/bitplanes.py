@@ -27,6 +27,14 @@ from __future__ import annotations
 
 import numpy as np
 
+if not hasattr(np, "bitwise_count"):  # pragma: no cover - version guard
+    raise ImportError(
+        "repro requires NumPy >= 2.0: every row tally and the bit-packed "
+        "plane backend go through np.bitwise_count, which numpy "
+        f"{np.__version__} does not provide. Upgrade with "
+        "`pip install 'numpy>=2.0'` (the floor pyproject.toml declares)."
+    )
+
 __all__ = ["first_k_true", "lower_half_split", "row_popcount"]
 
 

@@ -75,6 +75,7 @@ from repro.adversary.kernels.base import AdversaryKernel, KernelContext
 from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConfigurationError
 from repro.simulator.bitplanes import row_popcount
+from repro.simulator.planes import PlaneBackend, resolve_backend
 from repro.topology.counting import AdjacencyCounter
 from repro.topology.generators import validate_adjacency
 from repro.topology.loss import sample_delivered, validate_loss
@@ -186,6 +187,16 @@ class PhaseEngine:
             all-True one — takes the masked per-recipient path.
         loss: Per-edge i.i.d. message-loss probability (``0 <= loss < 1``).
             A positive loss activates the masked path even on the clique.
+        backend: Plane-backend selection (a registered name, a
+            :class:`~repro.simulator.planes.base.PlaneBackend` instance, or
+            ``None`` for ``$REPRO_PLANE_BACKEND``-then-default; see
+            :mod:`repro.simulator.planes`).  Resolved at :meth:`run_batch`
+            time so the environment variable is read per run.  All backends
+            are bit-identical; masked (topology/loss) runs pin the ``numpy``
+            reference backend regardless — their cost is the delivered-edge
+            matmuls, which packed words cannot help, and
+            :class:`~repro.topology.counting.AdjacencyCounter` contracts
+            boolean planes directly.
     """
 
     n: int
@@ -200,6 +211,7 @@ class PhaseEngine:
     compaction: bool = True
     adjacency: np.ndarray | None = None
     loss: float = 0.0
+    backend: str | PlaneBackend | None = None
 
     def __post_init__(self) -> None:
         if self.coin not in COIN_SOURCES:
@@ -271,15 +283,22 @@ class PhaseEngine:
         quorum = n - t
         phase_cap = self.max_phases if self.las_vegas else self.num_phases
 
+        # Masked runs pin the numpy reference backend: their hot path is the
+        # delivered-edge contraction over boolean planes, not the blend/tally
+        # ops the packed words accelerate (the documented AdjacencyCounter
+        # unpack shim).
+        masked = self.adjacency is not None or self.loss > 0.0
+        ops = resolve_backend("numpy") if masked else resolve_backend(self.backend)
+
         state = self._batch_state(inputs)
-        value = state["value"]
-        decided = state["decided"]
-        corrupted = state["corrupted"]
-        active = state["active"]
-        can_update = state["can_update"]
-        flush_now = state["flush_now"]
-        flush_next = state["flush_next"]
-        output = state["output"]
+        value = ops.from_bools(state["value"])
+        decided = ops.from_bools(state["decided"])
+        corrupted = ops.from_bools(state["corrupted"])
+        active = ops.from_bools(state["active"])
+        can_update = ops.from_bools(state["can_update"])
+        flush_now = ops.from_bools(state["flush_now"])
+        flush_next = ops.from_bools(state["flush_next"])
+        output = ops.from_bools(state["output"])
         budget = state["budget"]
         messages = state["messages"]
         phases = state["phases"]
@@ -296,13 +315,17 @@ class PhaseEngine:
         # tallies go through an AdjacencyCounter (segment sums at the density
         # extremes, float32 sgemm in between — exact-integer equivalent);
         # lossy rounds contract against that round's delivered-edge matrix,
-        # cast to float32 once per round (exact for counts up to 2^24).
-        masked = self.adjacency is not None or self.loss > 0.0
+        # sampled directly as float32 (exact for counts up to 2^24).
         counter = (
             AdjacencyCounter(self.adjacency)
             if masked and self.loss == 0.0
             else None
         )
+        # One reusable float32 delivered-edge buffer serves both rounds:
+        # deliver1's last read (the round-1 receive tallies) precedes the
+        # round-2 draw, and compaction only shrinks the leading axis, so a
+        # batch-0-sized buffer sliced to the live batch is always enough.
+        deliver_buf: np.ndarray | None = None
 
         def receive_counts(sent: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
             """Per-recipient receive tallies of the boolean ``sent`` plane."""
@@ -321,10 +344,10 @@ class PhaseEngine:
 
         def archive(rows: np.ndarray) -> None:
             where = orig[rows]
-            final["value"][where] = value[rows]
-            final["corrupted"][where] = corrupted[rows]
-            final["active"][where] = active[rows]
-            final["output"][where] = output[rows]
+            final["value"][where] = value.bools()[rows]
+            final["corrupted"][where] = corrupted.bools()[rows]
+            final["active"][where] = active.bools()[rows]
+            final["output"][where] = output.bools()[rows]
             final["messages"][where] = messages[rows]
             final["phases"][where] = phases[rows]
 
@@ -341,7 +364,7 @@ class PhaseEngine:
         kernel.setup(context(0, 0, 0, np.ones(batch0, dtype=bool)))
 
         for phase in range(1, phase_cap + 1):
-            sender_count = row_popcount(active)
+            sender_count = active.popcount()
             running = sender_count > 0
             live = int(np.count_nonzero(running))
             if live == 0:
@@ -350,14 +373,14 @@ class PhaseEngine:
                 # Compact: archive finished trials and drop their rows.
                 archive(np.flatnonzero(~running))
                 keep = np.flatnonzero(running)
-                value = value[keep]
-                decided = decided[keep]
-                corrupted = corrupted[keep]
-                active = active[keep]
-                can_update = can_update[keep]
-                flush_now = flush_now[keep]
-                flush_next = flush_next[keep]
-                output = output[keep]
+                value = value.take(keep)
+                decided = decided.take(keep)
+                corrupted = corrupted.take(keep)
+                active = active.take(keep)
+                can_update = can_update.take(keep)
+                flush_now = flush_now.take(keep)
+                flush_next = flush_next.take(keep)
+                output = output.take(keep)
                 budget = budget[keep]
                 messages = messages[keep]
                 phases = phases[keep]
@@ -375,7 +398,7 @@ class PhaseEngine:
             flush_now, flush_next = flush_next, flush_now
             finishing_due = pending_any
             if finishing_due:
-                flush_next[:] = False
+                flush_next.fill_false()
             phases[running] = phase
 
             start, stop = self._committee_slice(phase)
@@ -387,24 +410,27 @@ class PhaseEngine:
             # round-2 plane, committee shares) and only for running trials.
             deliver1 = None
             if masked and self.loss > 0.0:
+                if deliver_buf is None:
+                    deliver_buf = np.empty((batch0, n, n), dtype=np.float32)
                 deliver1 = sample_delivered(
-                    self.adjacency, self.loss, n, rngs, running
-                ).astype(np.float32)
-            ones_pre = row_popcount(value & active)
+                    self.adjacency, self.loss, n, rngs, running,
+                    out=deliver_buf[: len(orig)],
+                )
+            ones_pre = value.popcount_and(active)
             effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
             if ctx.mutated:
                 # The kernel corrupted mid-round; the victims' honest
                 # broadcasts are discarded, so honest tallies are recomputed.
-                sender_count = row_popcount(active)
-                ones_honest = row_popcount(value & active)
+                sender_count = active.popcount()
+                ones_honest = value.popcount_and(active)
                 ctx.mutated = False
             else:
                 ones_honest = ones_pre
             if masked:
-                ones_recv = receive_counts(value & active, deliver1)
-                zeros_recv = receive_counts(active & ~value, deliver1)
+                ones_recv = receive_counts(value.bools() & active.bools(), deliver1)
+                zeros_recv = receive_counts(active.bools() & ~value.bools(), deliver1)
                 if deliver1 is None:
-                    delivered = count_delivered(active, None)
+                    delivered = count_delivered(active.bools(), None)
                 else:
                     # The tallies' disjoint union is exactly `active`, so
                     # their sum *is* the delivered-edge message counter —
@@ -417,36 +443,38 @@ class PhaseEngine:
                 messages[running] += sender_count[running] * n
                 ones = ones_honest[:, None] + np.asarray(effect1.ones)
                 zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
-            updatable = active & can_update
+            updatable = active.and_plane(can_update)
             quorum1 = ones >= quorum
             quorum0 = ~quorum1 & (zeros >= quorum)
             quorum_any = quorum1 | quorum0
             if quorum_any.any():
-                value ^= (value ^ quorum1) & (updatable & quorum_any)
-            decided ^= (decided ^ quorum_any) & updatable
+                value.blend_mask(quorum1, updatable.and_mask(quorum_any))
+            decided.blend_mask(quorum_any, updatable)
 
             # ---------------- Round 2 ----------------
             # Non-rushing committee corruption happens before the flips exist.
             deliver2 = None
             if masked and self.loss > 0.0:
+                assert deliver_buf is not None
                 deliver2 = sample_delivered(
-                    self.adjacency, self.loss, n, rngs, running
-                ).astype(np.float32)
+                    self.adjacency, self.loss, n, rngs, running,
+                    out=deliver_buf[: len(orig)],
+                )
             kernel.pre_coin(ctx)
             if ctx.mutated:
-                sender_count = row_popcount(active)
-                updatable = active & can_update
+                sender_count = active.popcount()
+                updatable = active.and_plane(can_update)
                 ctx.mutated = False
             if masked:
-                messages[running] += count_delivered(active, deliver2)[running]
+                messages[running] += count_delivered(active.bools(), deliver2)[running]
             else:
                 messages[running] += sender_count[running] * n
-            decided_senders = active & decided
-            d1_honest = row_popcount(value & decided_senders)
-            d0_honest = row_popcount(decided_senders) - d1_honest
+            d1_honest = value.popcount_and3(active, decided)
+            d0_honest = active.popcount_and(decided) - d1_honest
             if masked:
-                d1_recv = receive_counts(value & decided_senders, deliver2)
-                d0_recv = receive_counts(decided_senders & ~value, deliver2)
+                decided_senders = active.bools() & decided.bools()
+                d1_recv = receive_counts(value.bools() & decided_senders, deliver2)
+                d0_recv = receive_counts(decided_senders & ~value.bools(), deliver2)
 
             # Share draws: always for the committee coin; lazily for the
             # others, only when a share-hungry kernel can reach the coin case
@@ -455,7 +483,9 @@ class PhaseEngine:
             # draw schedule bit for bit.
             shares = None
             if self.coin == "committee":
-                shares = draw_committee_shares(draw_fns, running, active[:, start:stop])
+                shares = draw_committee_shares(
+                    draw_fns, running, active.bools()[:, start:stop]
+                )
             elif kernel.needs_shares:
                 if masked:
                     # Per-recipient thresholds: a trial can reach the coin
@@ -471,7 +501,7 @@ class PhaseEngine:
                     )
                 if (running & ~assigned_honest).any():
                     shares = draw_committee_shares(
-                        draw_fns, running, active[:, start:stop]
+                        draw_fns, running, active.bools()[:, start:stop]
                     )
             share_recv = None
             if shares is not None:
@@ -487,7 +517,7 @@ class PhaseEngine:
             effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
             ctx.shares = None
             if ctx.mutated:
-                updatable = active & can_update
+                updatable = active.and_plane(can_update)
                 ctx.mutated = False
 
             if masked:
@@ -512,18 +542,19 @@ class PhaseEngine:
 
             assigned_any = finish_any | adopt1 | adopt0
             if assigned_any.any():
-                value ^= (value ^ (finish1 | adopt1)) & (updatable & assigned_any)
-                decided |= updatable & assigned_any
+                assigned = updatable.and_mask(assigned_any)
+                value.blend_mask(finish1 | adopt1, assigned)
+                decided.set_where(assigned)
             if finish_any.any():
-                flush_mask = updatable & finish_any
-                flush_next |= flush_mask
-                can_update ^= flush_mask  # flush_mask is a subset of can_update
+                flush_mask = updatable.and_mask(finish_any)
+                flush_next.set_where(flush_mask)
+                can_update.xor_where(flush_mask)  # a subset of can_update
                 pending_any = True
             else:
                 pending_any = False
 
             # ---------------- The phase coin ----------------
-            coin_mask = updatable & coin_case
+            coin_mask = updatable.and_mask(coin_case)
             if self.coin == "committee":
                 adj = np.asarray(effect2.shares)
                 if masked:
@@ -536,7 +567,7 @@ class PhaseEngine:
                     coin = (honest_sum.astype(adj.dtype)[:, None] + adj) >= 0
                 else:
                     coin = (honest_sum[:, None] + adj) >= 0
-                value ^= (value ^ coin) & coin_mask
+                value.blend_mask(coin, coin_mask)
             else:
                 need = running & coin_case.any(axis=1)
                 if need.any():
@@ -547,24 +578,24 @@ class PhaseEngine:
                         coin_rows = np.zeros(len(orig), dtype=bool)
                         for b in np.flatnonzero(need):
                             coin_rows[b] = bool(dealer_coin_bit(dealer_seeds[b], phase))
-                        value ^= (value ^ coin_rows[:, None]) & coin_mask
+                        value.blend_mask(coin_rows[:, None], coin_mask)
                     else:  # private
                         coin_plane = np.zeros((len(orig), n), dtype=bool)
                         for b in np.flatnonzero(need):
                             coin_plane[b] = draw_fns[b](0, 2, size=n).astype(bool)
-                        value ^= (value ^ coin_plane) & coin_mask
-            decided &= ~coin_mask
+                        value.blend_mask(coin_plane, coin_mask)
+            decided.clear_where(coin_mask)
 
             # Flush-phase terminations (nodes finishing this phase).
             if finishing_due:
-                finishing = active & flush_now
-                output ^= (output ^ value) & finishing
-                active ^= finishing  # finishing is a subset of active
+                finishing = active.and_plane(flush_now)
+                output.blend_plane(value, finishing)
+                active.xor_where(finishing)  # finishing is a subset of active
 
             # Bounded variant: decide by exhaustion after the last phase.
             if not self.las_vegas and phase >= self.num_phases:
-                output ^= (output ^ value) & active
-                active[:] = False
+                output.blend_plane(value, active)
+                active.fill_false()
 
         archive(np.arange(len(orig)))
         timed_out = final["active"].any(axis=1)

@@ -1,0 +1,102 @@
+"""Optional accelerator plane backends, registered only when importable.
+
+The backend registry is open: anything honouring the
+:mod:`repro.simulator.planes.base` contract — and bit-identical to the
+``numpy`` reference, which the equivalence suite in ``tests/test_planes.py``
+asserts for *every* registered backend — can slot in.  This module wires up
+the accelerators the ROADMAP names without making any of them a dependency:
+
+``numba``
+    The packed backend with its row-popcount reduction JIT-compiled
+    (``bitwise_count`` + row sum fused into one parallel pass over the
+    uint64 words).  All other ops inherit the packed NumPy word forms,
+    which are already single fused passes.
+
+CuPy (GPU words) and Cython are the remaining named slots; they register
+the same way — subclass :class:`~repro.simulator.planes.packed.PackedBackend`
+(or implement :class:`~repro.simulator.planes.base.PlaneBackend` from
+scratch), pick a fresh ``name``, and call
+:func:`repro.simulator.planes.register_backend`.
+
+Import failures — and *any* accelerator compilation failure — degrade to
+simply not registering, so the default install never sees these names in
+``available_backends()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.simulator.planes.base import PlaneBackend
+from repro.simulator.planes.packed import PackedBackend, PackedPlane
+
+__all__ = ["register_available"]
+
+
+def _build_numba_backend() -> PlaneBackend | None:
+    """The Numba-accelerated packed backend, or None when unavailable."""
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    try:
+
+        @numba.njit(parallel=True, cache=True)
+        def _row_popcount_words(words, out):  # pragma: no cover - needs numba
+            m1 = np.uint64(0x5555555555555555)
+            m2 = np.uint64(0x3333333333333333)
+            m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+            h01 = np.uint64(0x0101010101010101)
+            for b in numba.prange(words.shape[0]):
+                total = np.int64(0)
+                for w in range(words.shape[1]):
+                    x = words[b, w]
+                    x = x - ((x >> np.uint64(1)) & m1)
+                    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+                    x = (x + (x >> np.uint64(4))) & m4
+                    total += np.int64((x * h01) >> np.uint64(56))
+                out[b] = total
+
+        # Force one compilation now: a broken toolchain must fail here, at
+        # registration time, not mid-sweep.
+        probe = np.zeros(1, dtype=np.int64)
+        _row_popcount_words(np.array([[np.uint64(3)]]), probe)
+        if probe[0] != 2:
+            return None
+    except Exception:
+        return None
+
+    class NumbaPackedPlane(PackedPlane):  # pragma: no cover - needs numba
+        __slots__ = ()
+
+        def _reduce(self, words: np.ndarray) -> np.ndarray:
+            out = np.empty(words.shape[0], dtype=np.int64)
+            _row_popcount_words(words, out)
+            return out
+
+        def popcount(self) -> np.ndarray:
+            return self._reduce(self._require_words())
+
+        def popcount_and(self, other: PackedPlane) -> np.ndarray:
+            return self._reduce(self._require_words() & other._require_words())
+
+        def popcount_and3(self, a: PackedPlane, b: PackedPlane) -> np.ndarray:
+            return self._reduce(
+                self._require_words() & a._require_words() & b._require_words()
+            )
+
+    class NumbaPackedBackend(PackedBackend):  # pragma: no cover - needs numba
+        name = "numba"
+        plane_class = NumbaPackedPlane
+
+    return NumbaPackedBackend()
+
+
+def register_available(register: Callable[[PlaneBackend], PlaneBackend]) -> None:
+    """Register every accelerator backend whose toolchain imports cleanly."""
+    backend = _build_numba_backend()
+    if backend is not None:
+        register(backend)

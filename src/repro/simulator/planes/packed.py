@@ -1,0 +1,210 @@
+"""The uint64 bit-packed plane backend.
+
+A :class:`PackedPlane` stores 64 *nodes per word*: row ``b`` of the
+``(B, W)`` uint64 word array packs trial ``b``'s ``n`` node bits with
+``W = ceil(n / 64)`` (``np.packbits`` bit order — array element 0 is the MSB
+of byte 0 — padded to a whole word count; the tail bits beyond column ``n``
+are zero by invariant).  Node-major packing is what makes every engine op a
+straight word op: per-trial tallies are ``bitwise_count`` row sums, blends
+are three fused word passes, and ``(B, 1)`` per-trial condition masks
+broadcast as single all-ones/all-zero words — at ``n = 2000`` the word ops
+measure 4–5x cheaper than their boolean-array forms (see
+``benchmarks/bench_planeops.py``).  Trials-per-word packing was rejected:
+the engine's tallies are per *trial*, which packed-trial words could only
+answer with bit-sliced vertical counting.
+
+The expensive direction is the boundary.  ``np.packbits`` /
+``np.unpackbits`` cost about as much as one full boolean-plane pass, so the
+plane keeps **dual representations with two staleness flags**: word ops
+lazily pack and invalidate the bool mirror, kernel hooks lazily unpack and —
+via :meth:`mark_bools_dirty` — invalidate the words.  In the steady state a
+passive phase converts nothing; a phase where an adversary kernel corrupts
+pays one repack of the planes it touched; planes only the engine updates
+(``value``, ``decided``, the flush planes) stay packed across the whole run
+unless a kernel actually reads them.
+
+Tail-bit invariant: every stored word array has zero bits at columns
+``>= n``.  All-ones broadcast words (from ``(B, 1)`` masks) may carry tail
+ones, but they only ever enter stored planes through ``& where`` against a
+clean plane, so the invariant is preserved without explicit re-masking —
+and ``popcount`` therefore never over-counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.planes.base import Plane, PlaneBackend
+
+__all__ = ["PackedBackend", "PackedPlane", "pack_bools", "unpack_words"]
+
+#: The all-ones broadcast word for ``(B, 1)`` condition masks.
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO_WORD = np.uint64(0)
+
+
+def pack_bools(array: np.ndarray, n: int) -> np.ndarray:
+    """Pack a ``(B, n)`` boolean array into ``(B, ceil(n/64))`` uint64 words.
+
+    The byte stream is ``np.packbits(array, axis=1)`` zero-padded to a whole
+    word count, so tail bits are zero and :func:`unpack_words` round-trips
+    exactly for any ``n`` (including ragged ``n`` not divisible by 64).
+    """
+    batch = array.shape[0]
+    width = max(1, -(-n // 64))
+    buffer = np.zeros((batch, width * 8), dtype=np.uint8)
+    if n:
+        buffer[:, : (n + 7) // 8] = np.packbits(array, axis=1)
+    return buffer.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, n: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Unpack ``(B, W)`` uint64 words back to a ``(B, n)`` boolean array."""
+    byte_view = np.ascontiguousarray(words).view(np.uint8)[:, : (n + 7) // 8]
+    bits = np.unpackbits(byte_view, axis=1, count=n).view(bool)
+    if out is None:
+        return bits
+    out[...] = bits
+    return out
+
+
+class PackedPlane(Plane):
+    """Dual-representation plane: packed words + a lazy bool mirror."""
+
+    __slots__ = ("n", "_words", "_bools", "_words_valid", "_bools_valid")
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        words: np.ndarray | None = None,
+        bools: np.ndarray | None = None,
+    ) -> None:
+        self.n = n
+        self._words = words
+        self._bools = bools
+        self._words_valid = words is not None
+        self._bools_valid = bools is not None
+
+    # -------------------------------------------------- representation sync
+    def _require_words(self) -> np.ndarray:
+        if not self._words_valid:
+            self._words = pack_bools(self._bools, self.n)
+            self._words_valid = True
+        return self._words
+
+    def _words_mutated(self) -> np.ndarray:
+        """The word array, about to be updated in place: bool mirror stales."""
+        words = self._require_words()
+        self._bools_valid = False
+        return words
+
+    def bools(self) -> np.ndarray:
+        if not self._bools_valid:
+            if self._bools is None:
+                self._bools = unpack_words(self._words, self.n)
+            else:
+                unpack_words(self._words, self.n, out=self._bools)
+            self._bools_valid = True
+        return self._bools
+
+    def mark_bools_dirty(self) -> None:
+        self._words_valid = False
+
+    def _mask_words(self, mask: np.ndarray) -> np.ndarray:
+        """A broadcastable bool mask in word form.
+
+        ``(B, 1)`` per-trial conditions become single broadcast words (the
+        cheap, common case on the clique); anything wider is packed at
+        boolean-plane parity cost.
+        """
+        mask = np.asarray(mask)
+        if mask.ndim == 0:
+            return _FULL_WORD if mask else _ZERO_WORD
+        if mask.ndim == 1:
+            # NumPy broadcasting semantics against (B, n): a 1-D mask is a
+            # per-*node* row applied to every trial — pack once, broadcast
+            # the (1, W) row across the batch.
+            return pack_bools(
+                np.ascontiguousarray(mask, dtype=bool)[None, :], self.n
+            )
+        if mask.shape[1] == 1:
+            return np.where(mask, _FULL_WORD, _ZERO_WORD)
+        return pack_bools(np.ascontiguousarray(mask, dtype=bool), self.n)
+
+    # -------------------------------------------------- exact tallies
+    def popcount(self) -> np.ndarray:
+        return np.bitwise_count(self._require_words()).sum(axis=1, dtype=np.int64)
+
+    def popcount_and(self, other: PackedPlane) -> np.ndarray:
+        words = self._require_words() & other._require_words()
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+    def popcount_and3(self, a: PackedPlane, b: PackedPlane) -> np.ndarray:
+        words = self._require_words() & a._require_words() & b._require_words()
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+    # -------------------------------------------------- temporaries
+    def and_plane(self, other: PackedPlane) -> PackedPlane:
+        return type(self)(
+            self.n, words=self._require_words() & other._require_words()
+        )
+
+    def and_mask(self, mask: np.ndarray) -> PackedPlane:
+        return type(self)(
+            self.n, words=self._require_words() & self._mask_words(mask)
+        )
+
+    # -------------------------------------------------- in-place updates
+    def blend_mask(self, src: np.ndarray, where: PackedPlane) -> None:
+        words = self._words_mutated()
+        words ^= (words ^ self._mask_words(src)) & where._require_words()
+
+    def blend_plane(self, src: PackedPlane, where: PackedPlane) -> None:
+        words = self._words_mutated()
+        words ^= (words ^ src._require_words()) & where._require_words()
+
+    def set_where(self, where: PackedPlane) -> None:
+        words = self._words_mutated()
+        words |= where._require_words()
+
+    def clear_where(self, where: PackedPlane) -> None:
+        words = self._words_mutated()
+        words &= ~where._require_words()
+
+    def xor_where(self, where: PackedPlane) -> None:
+        words = self._words_mutated()
+        words ^= where._require_words()
+
+    def fill_false(self) -> None:
+        # Zero every materialised representation: both stay valid and agree.
+        if self._words is not None:
+            self._words[:] = 0
+            self._words_valid = True
+        if self._bools is not None:
+            self._bools[:] = False
+            self._bools_valid = True
+
+    # -------------------------------------------------- structure
+    def take(self, keep: np.ndarray) -> PackedPlane:
+        taken = type(self)(self.n)
+        if self._words_valid:
+            taken._words = self._words[keep]
+            taken._words_valid = True
+        if self._bools_valid:
+            taken._bools = self._bools[keep]
+            taken._bools_valid = True
+        return taken
+
+
+class PackedBackend(PlaneBackend):
+    """Planes as uint64 word arrays, 64 nodes per word."""
+
+    name = "packed"
+
+    #: Plane class hook: accelerator backends substitute a subclass.
+    plane_class: type[PackedPlane] = PackedPlane
+
+    def from_bools(self, array: np.ndarray) -> PackedPlane:
+        # Adopt the array as the bool mirror; words pack lazily on first op.
+        return self.plane_class(array.shape[1], bools=array)

@@ -115,6 +115,11 @@ class VectorizedAgreementSimulator:
         adjacency: Optional ``(n, n)`` boolean topology mask
             (:mod:`repro.topology`); ``None`` runs the historical clique path.
         loss: Per-edge i.i.d. message-loss probability.
+        backend: Plane-backend selection for the batched engine (see
+            :mod:`repro.simulator.planes`); ``None`` defers to
+            ``$REPRO_PLANE_BACKEND`` then the ``numpy`` default.  All
+            backends are bit-identical; the single-trial :meth:`run` loop
+            is the reference path and ignores the choice.
     """
 
     n: int
@@ -125,6 +130,7 @@ class VectorizedAgreementSimulator:
     max_phases: int | None = None
     adjacency: np.ndarray | None = None
     loss: float = 0.0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         validate_n_t(self.n, self.t)
@@ -355,6 +361,7 @@ class VectorizedAgreementSimulator:
             max_phases=self.max_phases,
             adjacency=self.adjacency,
             loss=self.loss,
+            backend=self.backend,
         )
         state = engine.run_batch(inputs, rngs, kernel)
         evaluated = finalize_planes(
@@ -489,6 +496,7 @@ def build_vectorized_simulator(
     params: ProtocolParameters | None = None,
     adjacency: np.ndarray | None = None,
     loss: float = 0.0,
+    backend: str | None = None,
 ) -> VectorizedAgreementSimulator:
     """Construct the vectorised simulator for a named protocol configuration."""
     if params is None:
@@ -503,7 +511,7 @@ def build_vectorized_simulator(
     return VectorizedAgreementSimulator(
         n=n, t=t, params=params, adversary=adversary,
         las_vegas=protocol.endswith("las-vegas"),
-        adjacency=adjacency, loss=loss,
+        adjacency=adjacency, loss=loss, backend=backend,
     )
 
 
@@ -522,6 +530,7 @@ def run_vectorized_trials(
     trial_offset: int = 0,
     adjacency: np.ndarray | None = None,
     loss: float = 0.0,
+    backend: str | None = None,
 ) -> VectorizedAggregate:
     """Run several vectorised trials and aggregate them.
 
@@ -542,7 +551,7 @@ def run_vectorized_trials(
         raise ConfigurationError(f"trials must be positive, got {trials}")
     simulator = build_vectorized_simulator(
         n, t, protocol=protocol, adversary=adversary, alpha=alpha, params=params,
-        adjacency=adjacency, loss=loss,
+        adjacency=adjacency, loss=loss, backend=backend,
     )
     rngs = [trial_generator(seed, trial_offset + k) for k in range(trials)]
     input_rows = np.stack([_trial_inputs(n, inputs, rng) for rng in rngs])

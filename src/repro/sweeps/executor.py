@@ -113,6 +113,7 @@ def run_spec(
     store: ResultsStore,
     engine: str | None = None,
     workers: int | None = None,
+    backend: str | None = None,
     limit: int | None = None,
     progress: ProgressCallback | None = None,
 ) -> SweepRunReport:
@@ -123,6 +124,10 @@ def run_spec(
         engine: Engine override (defaults to the spec's own choice).
         workers: Process count for the sharded executors; vectorisable
             points run on ``vectorized-mp`` when ``workers > 1``.
+        backend: Plane-backend selection for the vectorised kernels
+            (:mod:`repro.simulator.planes`).  Backends are bit-identical,
+            so it is pure execution policy: cache keys ignore it, and points
+            computed under one backend are cache hits under any other.
         limit: Execute at most this many *pending* points, leaving the rest
             for a later invocation (the CI resume check uses this to emulate
             an interrupted run deterministically).
@@ -153,6 +158,7 @@ def run_spec(
                     base_seed=point.base_seed,
                     engine=requested,
                     workers=workers,
+                    backend=backend,
                 )
                 store.put(key, sweep_record(point, result, result.engine))
                 executed += 1

@@ -51,6 +51,7 @@ def sample_delivered(
     n: int,
     rngs: Sequence[np.random.Generator],
     running: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """One round's delivered-edge matrices for a batch of trials.
 
@@ -63,17 +64,33 @@ def sample_delivered(
             plane — only if it is still running, so finished (compacted-away)
             trials never consume loss randomness.
         running: ``(B,)`` liveness mask.
+        out: Optional ``(B, n, n)`` float32 buffer to fill and return in
+            place of the boolean allocation.  The lossy engines contract the
+            delivered matrices as float32 anyway (sgemm; exact for counts up
+            to 2^24), so writing the buffer directly spares a fresh
+            ``(B, n, n)`` boolean batch *and* a full-batch float cast every
+            round — the dominant allocation cost of the lossy path.  The
+            consumed Philox stream is identical either way.
 
     Returns:
-        ``(B, n, n)`` boolean delivered-edge matrices: entry ``[b, j, i]`` is
-        True when ``j``'s round message reaches ``i`` in trial ``b``.  The
-        diagonal is always True; non-running rows are all-False (they carry
-        no traffic).
+        ``(B, n, n)`` delivered-edge matrices (boolean, or ``out``): entry
+        ``[b, j, i]`` is nonzero when ``j``'s round message reaches ``i`` in
+        trial ``b``.  The diagonal is always delivered; non-running rows are
+        all-zero (they carry no traffic).
     """
     batch = len(running)
-    delivered = np.zeros((batch, n, n), dtype=bool)
+    if out is None:
+        delivered = np.zeros((batch, n, n), dtype=bool)
+    else:
+        delivered = out
+        idle = ~np.asarray(running, dtype=bool)
+        if idle.any():
+            delivered[idle] = 0.0
+    draw = np.empty((n, n), dtype=np.float64)
+    kept = np.empty((n, n), dtype=bool)
     for b in np.flatnonzero(running):
-        kept = rngs[b].random((n, n)) >= loss
+        rngs[b].random(out=draw)
+        np.greater_equal(draw, loss, out=kept)
         if adjacency is not None:
             kept &= adjacency
         np.einsum("ii->i", kept)[:] = True
