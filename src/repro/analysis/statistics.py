@@ -27,6 +27,12 @@ class RateEstimate:
         """True when ``value`` lies inside the confidence interval."""
         return self.low <= value <= self.high
 
+    @property
+    def width(self) -> float:
+        """Full width of the confidence interval (the precision measure the
+        adaptive executor targets)."""
+        return self.high - self.low
+
 
 def success_rate(successes: int, trials: int, *, z: float = 1.96) -> RateEstimate:
     """Wilson score interval for a Bernoulli success rate.
@@ -69,6 +75,37 @@ def mean_confidence_interval(
         return mean, mean, mean
     stderr = statistics.stdev(values) / math.sqrt(len(values))
     return mean, mean - z * stderr, mean + z * stderr
+
+
+def relative_ci_width(values: Sequence[float], *, z: float = 1.96) -> float:
+    """Full CI width of the mean, relative to the mean's magnitude.
+
+    The scale-free precision measure the adaptive executor applies to round
+    counts: ``(high - low) / max(|mean|, 1)`` from
+    :func:`mean_confidence_interval`, so a target of ``0.1`` reads as "the
+    mean is pinned to within ±5%".  A single value (or a constant sample)
+    has zero width — deterministic round schedules converge immediately.
+    """
+    mean, low, high = mean_confidence_interval(values, z=z)
+    return (high - low) / max(abs(mean), 1.0)
+
+
+def trials_for_rate_width(rate: float, width: float, *, z: float = 1.96) -> int:
+    """Trials needed for a Wilson interval of ``width`` at a true ``rate``.
+
+    A normal-approximation planning bound (used to size adaptive batches and
+    document expected costs, never to decide convergence — the executor
+    always measures the realised interval): the Wilson width is approximately
+    ``2 z sqrt(p(1-p)/n)`` away from the boundaries and ``z^2 / (n + z^2)``
+    at them, so the max of the two solved for ``n`` covers both regimes.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must lie in [0, 1], got {rate}")
+    if not 0.0 < width < 1.0:
+        raise ValueError(f"width must lie in (0, 1), got {width}")
+    wald = (2.0 * z / width) ** 2 * rate * (1.0 - rate)
+    boundary = z * z * (1.0 - width) / width
+    return max(1, math.ceil(max(wald, boundary)))
 
 
 def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:

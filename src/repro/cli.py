@@ -199,10 +199,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 "bit-identical, so cached points computed under "
                                 "any backend are reused")
     sweep_run.add_argument("--limit", type=int, default=None,
-                           help="execute at most this many pending points, leaving "
-                                "the rest for a later (resumed) invocation")
+                           help="execute at most this many pending points "
+                                "(adaptive: batches), leaving the rest for a "
+                                "later (resumed) invocation")
     sweep_run.add_argument("--quiet", action="store_true",
                            help="suppress the per-point progress lines")
+    sweep_run.add_argument("--adaptive", action="store_true",
+                           help="run the precision-targeted adaptive executor "
+                                "(implied by a spec with an 'adaptive' block "
+                                "or by --precision)")
+    sweep_run.add_argument("--precision", type=float, default=None,
+                           help="target CI width: batches keep running until "
+                                "every point's agreement Wilson width AND "
+                                "relative mean-rounds CI width are below this "
+                                "(overrides the spec's own target)")
+    sweep_run.add_argument("--max-trials", type=int, default=None,
+                           dest="max_trials",
+                           help="adaptive per-point trial ceiling (overrides "
+                                "the spec)")
+    sweep_run.add_argument("--batch", type=int, default=None,
+                           help="adaptive batch size (overrides the spec; "
+                                "default: the spec's initial trials)")
 
     sweep_status = sweep_subparsers.add_parser(
         "status", help="report the spec's cache coverage without executing"
@@ -335,9 +352,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro.exceptions import ConfigurationError
     from repro.sweeps import (
         ResultsStore,
+        adaptive_report_rows,
+        adaptive_status,
         expand_rows,
         markdown_library_table,
         report_rows,
+        run_adaptive,
         run_spec,
         status_spec,
     )
@@ -367,6 +387,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
     store = ResultsStore(args.store)
     try:
         if args.sweep_command == "status":
+            if spec.adaptive:
+                report = adaptive_status(spec, store=store, engine=args.engine)
+                for estimate in report.estimates:
+                    width = "-" if estimate.trials == 0 else f"{estimate.width:.4f}"
+                    print(f"  {estimate.status:9s} {estimate.point.label()}  "
+                          f"{estimate.trials:4d} trials, width {width}  "
+                          f"[{estimate.key[:12]}]")
+                print(report.summary_line())
+                return 0
             report = status_spec(spec, store=store, engine=args.engine)
             for outcome in report.outcomes:
                 print(f"  {outcome.status:8s} {outcome.point.label()}  "
@@ -374,15 +403,42 @@ def _command_sweep(args: argparse.Namespace) -> int:
             print(report.summary_line())
             return 0
         if args.sweep_command == "report":
-            rows = report_rows(spec, store=store, engine=args.engine)
-            print(f"spec {spec.name}: results from {store.root}")
-            print(format_table(rows))
-            missing = sum(1 for row in rows if row["engine"] is None)
+            if spec.adaptive:
+                rows = adaptive_report_rows(spec, store=store, engine=args.engine)
+                print(f"spec {spec.name}: adaptive results from {store.root}")
+                print(format_table(rows))
+                missing = sum(1 for row in rows if row["status"] == "pending")
+            else:
+                rows = report_rows(spec, store=store, engine=args.engine)
+                print(f"spec {spec.name}: results from {store.root}")
+                print(format_table(rows))
+                missing = sum(1 for row in rows if row["engine"] is None)
             if missing:
                 print(f"({missing} of {len(rows)} points not in the store yet; "
                       f"run `repro sweep run {args.spec}`)")
             return 0
         if args.sweep_command == "run":
+            adaptive = args.adaptive or args.precision is not None or spec.adaptive
+            if adaptive:
+                def batch_progress(outcome, batches):
+                    if not args.quiet:
+                        state = "converged" if outcome.converged else "open"
+                        print(f"  [batch {batches}] {outcome.point.label()} "
+                              f"+{outcome.batch_trials} -> {outcome.total_trials} "
+                              f"trials, width {outcome.width:.4f} ({state}; "
+                              f"{outcome.seconds:.2f}s, {outcome.engine})",
+                              flush=True)
+
+                report = run_adaptive(
+                    spec, store=store, engine=args.engine,
+                    precision=args.precision, max_trials=args.max_trials,
+                    batch_size=args.batch, workers=args.workers,
+                    backend=args.backend, limit=args.limit,
+                    progress=batch_progress,
+                )
+                print(report.summary_line())
+                return 0
+
             def progress(outcome, index, total):
                 if not args.quiet:
                     timing = f" ({outcome.seconds:.2f}s, {outcome.engine})" \

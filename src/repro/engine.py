@@ -370,23 +370,30 @@ def _run_vectorized_sharded(
     params: ProtocolParameters | None,
     workers: int | None,
     backend: str | None = None,
+    trial_offset: int = 0,
 ) -> list[TrialSummary]:
     """The batched kernel sweep sharded over processes by trial range.
 
-    The trial counter range ``[0, trials)`` is split into contiguous
-    sub-batches; each worker runs its sub-batch with ``trial_offset`` set to
-    the range start, so every trial draws from the same ``(base_seed, k)``
-    Philox key it would use in the single-process batch.  Partial aggregates
-    are merged in range order via :meth:`TrialsResult.merge`, which makes the
-    sharded sweep bit-identical to ``engine="vectorized"``.
+    The trial counter range ``[trial_offset, trial_offset + trials)`` is
+    split into contiguous sub-batches; each worker runs its sub-batch with
+    ``trial_offset`` set to the range start, so every trial draws from the
+    same ``(base_seed, k)`` Philox key it would use in the single-process
+    batch.  Partial aggregates are merged in range order via
+    :meth:`TrialsResult.merge`, which makes the sharded sweep bit-identical
+    to ``engine="vectorized"``.
     """
     pool_size = workers if workers is not None else (os.cpu_count() or 1)
     pool_size = max(1, min(pool_size, trials))
     if pool_size == 1:
-        return _run_vectorized_sweep(experiment, trials, base_seed, params, 0, backend)
+        return _run_vectorized_sweep(
+            experiment, trials, base_seed, params, trial_offset, backend
+        )
     size = -(-trials // pool_size)
     shards = [
-        (experiment, min(size, trials - start), base_seed, params, start, backend)
+        (
+            experiment, min(size, trials - start), base_seed, params,
+            trial_offset + start, backend,
+        )
         for start in range(0, trials, size)
     ]
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
@@ -416,6 +423,7 @@ def run_sweep(
     topology: str = "clique",
     loss: float = 0.0,
     backend: str | None = None,
+    trial_offset: int = 0,
     protocol_kwargs: dict[str, Any] | None = None,
     adversary_kwargs: dict[str, Any] | None = None,
 ) -> SweepResult:
@@ -442,6 +450,13 @@ def run_sweep(
         trials: Number of independent trials; trial ``k`` uses master seed
             ``base_seed + k`` (object engines) or Philox key
             ``(base_seed, k)`` (vectorised kernels).
+        trial_offset: Start of the call's trial-counter range (default 0).
+            Trial ``k`` of the call uses the *global* counter
+            ``trial_offset + k`` — master seed ``base_seed + trial_offset +
+            k`` on the object engines, Philox key ``(base_seed, trial_offset
+            + k)`` on the vectorised kernels — so concatenating batches run
+            at consecutive offsets is bit-identical to one unsplit sweep.
+            This is the contract the sharded and adaptive executors build on.
         backend: Plane-backend selection for the vectorised kernels (a
             :func:`repro.simulator.planes.available_backends` name; ``None``
             defers to ``$REPRO_PLANE_BACKEND`` then ``numpy``).  Backends
@@ -456,6 +471,8 @@ def run_sweep(
     """
     if trials < 1:
         raise ConfigurationError(f"num_trials must be positive, got {trials}")
+    if trial_offset < 0:
+        raise ConfigurationError(f"trial_offset must be >= 0, got {trial_offset}")
     if experiment is None:
         if n is None or t is None:
             raise ConfigurationError("run_sweep needs either (n, t) or experiment=")
@@ -500,15 +517,18 @@ def run_sweep(
 
     if chosen == "vectorized":
         summaries = _run_vectorized_sweep(
-            experiment, trials, base_seed, params, 0, backend
+            experiment, trials, base_seed, params, trial_offset, backend
         )
     elif chosen == "vectorized-mp":
         summaries = _run_vectorized_sharded(
-            experiment, trials, base_seed, params, workers, backend
+            experiment, trials, base_seed, params, workers, backend, trial_offset
         )
     else:
+        # The object engines' global counter is the master seed itself:
+        # trial k of the call runs on seed base_seed + trial_offset + k.
         summaries = _run_object_sweep(
-            experiment, trials, base_seed, workers, parallel=chosen == "object-mp"
+            experiment, trials, base_seed + trial_offset, workers,
+            parallel=chosen == "object-mp",
         )
     return SweepResult(experiment=experiment, trials=summaries, engine=chosen)
 

@@ -111,9 +111,22 @@ def sweep_report_rows(
             measurement cells render as ``-`` so coverage gaps stay
             visible).
     """
+    from repro.analysis.statistics import relative_ci_width, success_rate
+
     rows = []
     for point, record in records:
         summary = (record or {}).get("summary", {})
+        agree_width = rounds_rel_width = None
+        trial_rows = (record or {}).get("trials") or []
+        if trial_rows and summary.get("agreement_rate") is not None:
+            successes = round(summary["agreement_rate"] * len(trial_rows))
+            agree_width = success_rate(successes, len(trial_rows)).width
+            fields = record.get("trial_fields", [])
+            if "rounds" in fields:
+                rounds_index = fields.index("rounds")
+                rounds_rel_width = relative_ci_width(
+                    [float(values[rounds_index]) for values in trial_rows]
+                )
         rows.append(
             {
                 "protocol": point.protocol,
@@ -128,6 +141,8 @@ def sweep_report_rows(
                 "mean_messages": summary.get("mean_messages"),
                 "agreement_rate": summary.get("agreement_rate"),
                 "validity_rate": summary.get("validity_rate"),
+                "agree_width": agree_width,
+                "rounds_rel_width": rounds_rel_width,
             }
         )
     return rows

@@ -9,6 +9,20 @@ are thin wrappers over these four modules; see ``docs/sweeps.md`` for the
 spec format and the caching/resume contract.
 """
 
+from repro.sweeps.adaptive import (
+    AdaptiveRunReport,
+    BatchOutcome,
+    PointEstimate,
+    PrecisionTargets,
+    adaptive_keys,
+    adaptive_plan_table,
+    adaptive_report_rows,
+    adaptive_status,
+    estimate_point,
+    markdown_adaptive_plan,
+    resolve_targets,
+    run_adaptive,
+)
 from repro.sweeps.executor import (
     PointOutcome,
     SweepRunReport,
@@ -32,6 +46,8 @@ from repro.sweeps.spec import (
 from repro.sweeps.store import (
     STORE_SCHEMA_VERSION,
     ResultsStore,
+    adaptive_key,
+    adaptive_record,
     default_store_root,
     engine_family,
     experiment_key,
@@ -46,19 +62,33 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "SWEEP_LIBRARY",
     "T_SPECS",
+    "AdaptiveRunReport",
+    "BatchOutcome",
+    "PointEstimate",
     "PointOutcome",
+    "PrecisionTargets",
     "ResultsStore",
     "SweepPoint",
     "SweepRunReport",
     "SweepSpec",
+    "adaptive_key",
+    "adaptive_keys",
+    "adaptive_plan_table",
+    "adaptive_record",
+    "adaptive_report_rows",
+    "adaptive_status",
     "canonical_json",
     "default_store_root",
     "engine_family",
+    "estimate_point",
     "expand_rows",
     "experiment_key",
     "get_spec",
+    "markdown_adaptive_plan",
     "markdown_library_table",
     "point_key",
+    "resolve_targets",
+    "run_adaptive",
     "report_rows",
     "resolve_t",
     "result_from_record",

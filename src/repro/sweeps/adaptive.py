@@ -1,0 +1,592 @@
+"""Sequential, precision-targeted sweep execution.
+
+The uniform executor (:mod:`repro.sweeps.executor`) spends a fixed trial
+budget on every point of a grid, so low-variance points are oversampled while
+crossover-region points get noisy estimates.  This module inverts that: each
+:class:`~repro.sweeps.spec.SweepPoint` runs in *batches*, and after every
+batch the executor measures two confidence intervals via
+:mod:`repro.analysis.statistics` —
+
+* the **Wilson interval** on the agreement rate (its full width), and
+* the **relative CI width** on mean rounds (full width over the mean),
+
+and keeps allocating further batches — always to the point whose widest of
+the two measures is largest ("variance-greedy") — until every point is below
+the ``precision`` target or at its ``max_trials`` ceiling.
+
+Reproducibility contract
+------------------------
+Batches run through :func:`repro.engine.run_sweep` with ``trial_offset`` set
+to the point's accumulated trial count, so batch trials draw from the same
+global counter streams — Philox key ``(base_seed, k)`` on the vectorised
+kernels, master seed ``base_seed + k`` on the object engines — they would use
+in one unsplit sweep.  Concatenating the batches with
+:meth:`repro.core.runner.TrialsResult.merge` is therefore **bit-identical**
+to a one-shot run at the same total trial count, and because the greedy
+allocation decisions depend only on the accumulated results (ties broken by
+grid order), an interrupted-and-resumed adaptive run replays the identical
+batch sequence and lands on the identical estimates.
+
+Every completed batch immediately appends the point's *accumulated* record to
+the content-addressed :class:`~repro.sweeps.store.ResultsStore` under its
+trials-independent :func:`~repro.sweeps.store.adaptive_key`, so a kill at any
+moment loses at most the in-flight batch: on resume, the latest durable
+record per point is merged back in and only the remainder executes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.statistics import (
+    RateEstimate,
+    mean_confidence_interval,
+    relative_ci_width,
+    success_rate,
+)
+from repro.engine import SweepResult, run_sweep, select_engine
+from repro.exceptions import ConfigurationError
+from repro.sweeps.spec import SweepPoint, SweepSpec
+from repro.sweeps.store import (
+    ResultsStore,
+    adaptive_key,
+    adaptive_record,
+    engine_family,
+    result_from_record,
+)
+
+#: Default per-point ceiling, in batches, when neither the spec nor the
+#: caller sets ``max_trials`` explicitly.
+DEFAULT_CEILING_BATCHES = 64
+
+#: Per-batch progress callback: ``(outcome, batches_so_far)``.
+AdaptiveProgress = Callable[["BatchOutcome", int], None]
+
+
+@dataclass(frozen=True)
+class PrecisionTargets:
+    """The resolved stopping rule of one adaptive invocation."""
+
+    precision: float
+    batch_size: int
+    max_trials: int
+    z: float = 1.96
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.precision < 1.0:
+            raise ConfigurationError(
+                f"precision must lie in (0, 1), got {self.precision}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.max_trials < 1:
+            raise ConfigurationError(
+                f"max_trials must be positive, got {self.max_trials}"
+            )
+        if self.z <= 0:
+            raise ConfigurationError(f"z must be positive, got {self.z}")
+
+
+def resolve_targets(
+    spec: SweepSpec,
+    *,
+    precision: float | None = None,
+    max_trials: int | None = None,
+    batch_size: int | None = None,
+    z: float = 1.96,
+) -> PrecisionTargets:
+    """Resolve the stopping rule: explicit overrides > spec fields > defaults.
+
+    The spec's ``trials`` is the initial batch every point receives;
+    ``batch_size`` defaults to it, and ``max_trials`` defaults to
+    :data:`DEFAULT_CEILING_BATCHES` batches.
+    """
+    chosen_precision = precision if precision is not None else spec.precision
+    if chosen_precision is None:
+        raise ConfigurationError(
+            f"spec {spec.name!r} has no precision target; set the spec's "
+            "'adaptive' block or pass --precision"
+        )
+    chosen_batch = batch_size if batch_size is not None else spec.batch_size
+    if chosen_batch is None:
+        chosen_batch = spec.trials
+    chosen_ceiling = max_trials if max_trials is not None else spec.max_trials
+    if chosen_ceiling is None:
+        chosen_ceiling = DEFAULT_CEILING_BATCHES * chosen_batch
+    if chosen_ceiling < spec.trials:
+        raise ConfigurationError(
+            f"max_trials ({chosen_ceiling}) must be >= the initial "
+            f"trials ({spec.trials})"
+        )
+    return PrecisionTargets(
+        precision=float(chosen_precision),
+        batch_size=int(chosen_batch),
+        max_trials=int(chosen_ceiling),
+        z=z,
+    )
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """The current precision state of one point."""
+
+    point: SweepPoint
+    key: str
+    trials: int
+    agreement: RateEstimate | None
+    rounds_mean: float | None
+    rounds_low: float | None
+    rounds_high: float | None
+    rounds_rel_width: float | None
+    width: float  # max(agreement width, rounds relative width); inf if no data
+    converged: bool
+    ceiling_hit: bool
+
+    @property
+    def status(self) -> str:
+        if self.trials == 0:
+            return "pending"
+        if self.converged:
+            return "converged"
+        if self.ceiling_hit:
+            return "ceiling"
+        return "partial"
+
+
+def estimate_point(
+    point: SweepPoint,
+    key: str,
+    result: SweepResult | None,
+    targets: PrecisionTargets,
+) -> PointEstimate:
+    """Measure one point's precision state from its accumulated result."""
+    if result is None or result.num_trials == 0:
+        return PointEstimate(
+            point=point, key=key, trials=0, agreement=None, rounds_mean=None,
+            rounds_low=None, rounds_high=None, rounds_rel_width=None,
+            width=math.inf, converged=False, ceiling_hit=False,
+        )
+    trials = result.num_trials
+    successes = sum(trial.agreement for trial in result.trials)
+    agreement = success_rate(successes, trials, z=targets.z)
+    rounds = [float(trial.rounds) for trial in result.trials]
+    mean, low, high = mean_confidence_interval(rounds, z=targets.z)
+    rel_width = relative_ci_width(rounds, z=targets.z)
+    width = max(agreement.width, rel_width)
+    return PointEstimate(
+        point=point,
+        key=key,
+        trials=trials,
+        agreement=agreement,
+        rounds_mean=mean,
+        rounds_low=low,
+        rounds_high=high,
+        rounds_rel_width=rel_width,
+        width=width,
+        converged=width <= targets.precision,
+        ceiling_hit=trials >= targets.max_trials,
+    )
+
+
+@dataclass
+class _PointState:
+    """Mutable per-point execution state of one adaptive invocation."""
+
+    point: SweepPoint
+    key: str
+    result: SweepResult | None
+    computed_trials: int = 0
+    computed_batches: int = 0
+    seconds: float = 0.0
+
+    @property
+    def trials(self) -> int:
+        return 0 if self.result is None else self.result.num_trials
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one executed batch did (for progress reporting)."""
+
+    point: SweepPoint
+    key: str
+    batch_trials: int
+    total_trials: int
+    width: float
+    converged: bool
+    engine: str
+    seconds: float
+
+
+@dataclass
+class AdaptiveRunReport:
+    """Outcome of one :func:`run_adaptive` (or :func:`adaptive_status`)."""
+
+    spec: SweepSpec
+    engine: str
+    targets: PrecisionTargets
+    estimates: list[PointEstimate]
+    computed_trials: int = 0
+    computed_batches: int = 0
+    seconds: float = 0.0
+    states: list[_PointState] = field(default_factory=list, repr=False)
+
+    @property
+    def total(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def total_trials(self) -> int:
+        return sum(estimate.trials for estimate in self.estimates)
+
+    @property
+    def converged(self) -> int:
+        return sum(estimate.converged for estimate in self.estimates)
+
+    @property
+    def at_ceiling(self) -> int:
+        return sum(
+            estimate.ceiling_hit and not estimate.converged
+            for estimate in self.estimates
+        )
+
+    def summary_line(self) -> str:
+        """One machine-greppable line (asserted by the CI adaptive-smoke job)."""
+        return (
+            f"adaptive sweep {self.spec.name}: {self.total} points, "
+            f"{self.total_trials} trials (+{self.computed_trials} computed), "
+            f"{self.converged} converged, {self.at_ceiling} at ceiling, "
+            f"precision {self.targets.precision:g} (engine {self.engine}, "
+            f"{self.seconds:.2f}s)"
+        )
+
+
+def adaptive_keys(
+    spec: SweepSpec,
+    *,
+    engine: str | None = None,
+    workers: int | None = None,
+) -> list[tuple[SweepPoint, str]]:
+    """Expand a spec and compute each point's trials-independent adaptive key.
+
+    Mirrors :func:`repro.sweeps.executor.spec_keys` — the key depends on the
+    result *family* of the engine that would run the point, never on the
+    concrete serial/parallel variant or the trial count.
+    """
+    requested = engine if engine is not None else spec.engine
+    pairs = []
+    for point in spec.expand():
+        resolved = select_engine(
+            point.protocol,
+            point.adversary,
+            engine=requested,
+            trials=point.trials,
+            n=point.n,
+            workers=workers,
+            max_rounds=point.max_rounds,
+            topology=point.topology,
+            loss=point.loss,
+        )
+        pairs.append((point, adaptive_key(point, engine_family(resolved))))
+    return pairs
+
+
+def run_adaptive(
+    spec: SweepSpec,
+    *,
+    store: ResultsStore,
+    engine: str | None = None,
+    precision: float | None = None,
+    max_trials: int | None = None,
+    batch_size: int | None = None,
+    z: float = 1.96,
+    workers: int | None = None,
+    backend: str | None = None,
+    limit: int | None = None,
+    progress: AdaptiveProgress | None = None,
+) -> AdaptiveRunReport:
+    """Run ``spec`` adaptively: batches go where the error bars are widest.
+
+    Args:
+        store: Results store; each point's accumulated record is read on
+            entry (resume) and appended after every completed batch.
+        engine: Engine override (defaults to the spec's own choice).
+        precision / max_trials / batch_size: Stopping-rule overrides
+            (defaults: the spec's adaptive block, see :func:`resolve_targets`).
+        z: Normal quantile of both intervals (1.96 = 95% confidence).
+        workers / backend: Execution policy, forwarded to
+            :func:`repro.engine.run_sweep`; results never depend on either.
+        limit: Execute at most this many *batches*, leaving the rest for a
+            later (resumed) invocation — the CI resume check uses this to
+            emulate an interrupted run deterministically.
+        progress: Called once per executed batch.
+
+    Returns:
+        An :class:`AdaptiveRunReport`; interruptions (KeyboardInterrupt) are
+        NOT swallowed, but every batch completed before one is already
+        durable in the store.
+    """
+    started = time.perf_counter()
+    targets = resolve_targets(
+        spec, precision=precision, max_trials=max_trials,
+        batch_size=batch_size, z=z,
+    )
+    requested = engine if engine is not None else spec.engine
+    states = [
+        _PointState(
+            point=point,
+            key=key,
+            result=(
+                None
+                if (record := store.get(key)) is None
+                else result_from_record(record)
+            ),
+        )
+        for point, key in adaptive_keys(spec, engine=engine, workers=workers)
+    ]
+    executed = 0
+
+    def budget_left() -> bool:
+        return limit is None or executed < limit
+
+    def run_batch(state: _PointState, count: int) -> None:
+        nonlocal executed
+        batch_started = time.perf_counter()
+        batch = run_sweep(
+            experiment=state.point.experiment(),
+            trials=count,
+            base_seed=state.point.base_seed,
+            engine=requested,
+            workers=workers,
+            backend=backend,
+            trial_offset=state.trials,
+        )
+        merged = (
+            batch
+            if state.result is None
+            else SweepResult(
+                experiment=batch.experiment,
+                trials=state.result.trials + batch.trials,
+                engine=batch.engine,
+            )
+        )
+        state.result = merged
+        store.put(
+            state.key,
+            adaptive_record(
+                state.point, merged, batch.engine,
+                precision=targets.precision, batch_size=targets.batch_size,
+                max_trials=targets.max_trials, z=targets.z,
+            ),
+        )
+        seconds = time.perf_counter() - batch_started
+        state.computed_trials += count
+        state.computed_batches += 1
+        state.seconds += seconds
+        executed += 1
+        if progress is not None:
+            current = estimate_point(state.point, state.key, merged, targets)
+            progress(
+                BatchOutcome(
+                    point=state.point, key=state.key, batch_trials=count,
+                    total_trials=merged.num_trials, width=current.width,
+                    converged=current.converged, engine=batch.engine,
+                    seconds=seconds,
+                ),
+                executed,
+            )
+
+    try:
+        # Phase 1: every point gets its initial batch (the spec's `trials`),
+        # topping up partially-seeded points from interrupted runs.
+        for state in states:
+            if not budget_left():
+                break
+            if state.trials < state.point.trials:
+                run_batch(state, state.point.trials - state.trials)
+        # Phase 2: variance-greedy allocation.  Every decision depends only
+        # on the accumulated results (max() keeps the first of tied widths,
+        # and states iterate in grid order), so an interrupted run resumed
+        # from the store replays the identical batch sequence.
+        while budget_left():
+            pending = [
+                state
+                for state in states
+                if state.trials >= state.point.trials
+                and state.trials < targets.max_trials
+                and not estimate_point(
+                    state.point, state.key, state.result, targets
+                ).converged
+            ]
+            if not pending:
+                break
+            widest = max(
+                pending,
+                key=lambda state: estimate_point(
+                    state.point, state.key, state.result, targets
+                ).width,
+            )
+            run_batch(
+                widest,
+                min(targets.batch_size, targets.max_trials - widest.trials),
+            )
+    finally:
+        store.flush_index()
+    return AdaptiveRunReport(
+        spec=spec,
+        engine=requested,
+        targets=targets,
+        estimates=[
+            estimate_point(state.point, state.key, state.result, targets)
+            for state in states
+        ],
+        computed_trials=sum(state.computed_trials for state in states),
+        computed_batches=executed,
+        seconds=time.perf_counter() - started,
+        states=states,
+    )
+
+
+def adaptive_status(
+    spec: SweepSpec,
+    *,
+    store: ResultsStore,
+    engine: str | None = None,
+    precision: float | None = None,
+    max_trials: int | None = None,
+    batch_size: int | None = None,
+    z: float = 1.96,
+) -> AdaptiveRunReport:
+    """Precision coverage of ``spec`` in ``store`` without executing anything."""
+    targets = resolve_targets(
+        spec, precision=precision, max_trials=max_trials,
+        batch_size=batch_size, z=z,
+    )
+    estimates = []
+    for point, key in adaptive_keys(spec, engine=engine):
+        record = store.get(key)
+        result = None if record is None else result_from_record(record)
+        estimates.append(estimate_point(point, key, result, targets))
+    return AdaptiveRunReport(
+        spec=spec,
+        engine=engine if engine is not None else spec.engine,
+        targets=targets,
+        estimates=estimates,
+    )
+
+
+def adaptive_report_rows(
+    spec: SweepSpec,
+    *,
+    store: ResultsStore,
+    engine: str | None = None,
+    precision: float | None = None,
+    max_trials: int | None = None,
+    batch_size: int | None = None,
+    z: float = 1.96,
+) -> list[dict[str, Any]]:
+    """Result table of an adaptive spec, read entirely from the store.
+
+    One row per point with the accumulated trial count and both intervals;
+    uncomputed points appear with empty measurement cells.
+    """
+    report = adaptive_status(
+        spec, store=store, engine=engine, precision=precision,
+        max_trials=max_trials, batch_size=batch_size, z=z,
+    )
+    rows = []
+    for estimate in report.estimates:
+        point = estimate.point
+        agreement = estimate.agreement
+        rows.append(
+            {
+                "protocol": point.protocol,
+                "adversary": point.adversary,
+                "n": point.n,
+                "t": point.t,
+                "trials": estimate.trials or None,
+                "agreement_rate": None if agreement is None else agreement.rate,
+                "agree_low": None if agreement is None else agreement.low,
+                "agree_high": None if agreement is None else agreement.high,
+                "mean_rounds": estimate.rounds_mean,
+                "rounds_low": estimate.rounds_low,
+                "rounds_high": estimate.rounds_high,
+                "ci_width": (
+                    None if estimate.trials == 0 else estimate.width
+                ),
+                "status": estimate.status,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Deterministic allocation-plan table (embedded in docs/sweeps.md)
+# ----------------------------------------------------------------------
+def adaptive_plan_table(spec: SweepSpec) -> list[dict[str, Any]]:
+    """The deterministic allocation plan of an adaptive spec, as table rows.
+
+    Everything here is derivable without running a single trial: the
+    expanded grid, each point's seed range start, the initial batch, the
+    increment and the ceiling.  Rendered (for the ``crossover-adaptive``
+    library spec) into ``docs/sweeps.md`` as a drift-guarded example table.
+    """
+    targets = resolve_targets(spec)
+    rows = []
+    for index, (point, key) in enumerate(adaptive_keys(spec)):
+        rows.append(
+            {
+                "#": index,
+                "protocol": point.protocol,
+                "adversary": point.adversary,
+                "n": point.n,
+                "t": point.t,
+                "base_seed": point.base_seed,
+                "initial": point.trials,
+                "batch": targets.batch_size,
+                "ceiling": targets.max_trials,
+                "precision": targets.precision,
+                "key": key[:12],
+            }
+        )
+    return rows
+
+
+def markdown_adaptive_plan() -> str:
+    """The ``crossover-adaptive`` allocation plan as a marked markdown block.
+
+    ``docs/sweeps.md`` embeds this block between the same markers and
+    ``tests/test_docs.py`` asserts the embedded copy is byte-identical, so
+    the documented adaptive example can never drift from the live spec.
+    """
+    from repro.metrics.reporting import format_markdown_table
+    from repro.sweeps.library import get_spec
+
+    table = format_markdown_table(adaptive_plan_table(get_spec("crossover-adaptive")))
+    return (
+        "<!-- sweeps:adaptive-plan:begin -->\n"
+        f"{table}\n"
+        "<!-- sweeps:adaptive-plan:end -->"
+    )
+
+
+__all__ = [
+    "AdaptiveRunReport",
+    "BatchOutcome",
+    "DEFAULT_CEILING_BATCHES",
+    "PointEstimate",
+    "PrecisionTargets",
+    "adaptive_keys",
+    "adaptive_plan_table",
+    "adaptive_report_rows",
+    "adaptive_status",
+    "estimate_point",
+    "markdown_adaptive_plan",
+    "resolve_targets",
+    "run_adaptive",
+]

@@ -138,6 +138,14 @@ def run_spec(
         swallowed, but every point computed before one is already durable in
         the store.
     """
+    if spec.adaptive:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"spec {spec.name!r} declares a precision target; run it with "
+            "repro.sweeps.adaptive.run_adaptive (CLI: repro sweep run "
+            "--adaptive) instead of the uniform executor"
+        )
     started = time.perf_counter()
     pairs = spec_keys(spec, engine=engine, workers=workers)
     requested = engine if engine is not None else spec.engine

@@ -126,6 +126,21 @@ SWEEP_LIBRARY: dict[str, SweepSpec] = {
             allow_timeout=True,
         ),
         SweepSpec(
+            name="crossover-adaptive",
+            description="Adaptive precision run on the E5 crossover region (CI width <= 0.05)",
+            protocols=("committee-ba-las-vegas", "chor-coan-las-vegas"),
+            adversaries=("coin-attack",),
+            inputs=("split",),
+            n_values=(256,),
+            t_specs=(16, 32, 48, 64, 85),
+            trials=8,
+            seed_policy="by-t",
+            base_seed=4000,
+            precision=0.05,
+            batch_size=8,
+            max_trials=512,
+        ),
+        SweepSpec(
             name="alpha-committee-grid",
             description="Committee-count constant alpha x budget grid for both committee protocols",
             protocols=("committee-ba", "chor-coan"),
@@ -164,7 +179,11 @@ def library_table() -> list[dict[str, object]]:
             {
                 "name": name,
                 "points": len(points),
-                "trials/point": spec.trials,
+                "trials/point": (
+                    f"{spec.trials}..{spec.max_trials or '*'} @ {spec.precision:g}"
+                    if spec.adaptive
+                    else spec.trials
+                ),
                 "protocols": ", ".join(spec.protocols),
                 "adversaries": ", ".join(spec.adversaries),
                 "n": ", ".join(str(n) for n in spec.n_values),

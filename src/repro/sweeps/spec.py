@@ -152,6 +152,18 @@ class SweepPoint:
             data["loss"] = self.loss
         return data
 
+    def canonical_base(self) -> dict[str, Any]:
+        """The point's canonical dict *without* the trial count.
+
+        This is the identity the adaptive executor accumulates results under:
+        an adaptive run grows a point's trial count batch by batch, so its
+        store key must cover every configuration field except ``trials``
+        (:func:`repro.sweeps.store.adaptive_key`).
+        """
+        data = self.canonical()
+        del data["trials"]
+        return data
+
     def canonical_text(self) -> str:
         """Canonical JSON of the point (the hashing input)."""
         return canonical_json(self.canonical())
@@ -231,6 +243,14 @@ class SweepSpec:
     max_rounds: int | None = None
     allow_timeout: bool = False
     description: str = ""
+    #: Adaptive-mode fields (see :mod:`repro.sweeps.adaptive`): when
+    #: ``precision`` is set the spec asks for sequential, precision-targeted
+    #: execution — ``trials`` becomes the initial batch per point,
+    #: ``batch_size`` the increment (default: ``trials``) and ``max_trials``
+    #: the per-point ceiling (default: 64 batches).
+    precision: float | None = None
+    batch_size: int | None = None
+    max_trials: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
@@ -285,6 +305,31 @@ class SweepSpec:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; available: {ENGINES}"
             )
+        if self.precision is not None and not 0.0 < self.precision < 1.0:
+            raise ConfigurationError(
+                f"precision must lie in (0, 1), got {self.precision}"
+            )
+        if self.precision is None and (
+            self.batch_size is not None or self.max_trials is not None
+        ):
+            raise ConfigurationError(
+                "batch_size/max_trials are adaptive-mode fields; "
+                "set precision to enable adaptive allocation"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.max_trials is not None and self.max_trials < self.trials:
+            raise ConfigurationError(
+                f"max_trials ({self.max_trials}) must be >= the initial "
+                f"trials ({self.trials})"
+            )
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the spec asks for precision-targeted execution."""
+        return self.precision is not None
 
     def expand(self) -> list[SweepPoint]:
         """Materialise the grid, in deterministic order.
@@ -361,7 +406,7 @@ class SweepSpec:
             axes["topology"] = list(self.topologies)
         if self.losses != (0.0,):
             axes["loss"] = list(self.losses)
-        return {
+        data = {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -373,6 +418,16 @@ class SweepSpec:
             "max_rounds": self.max_rounds,
             "allow_timeout": self.allow_timeout,
         }
+        # The adaptive block appears only when the mode is on, so every
+        # pre-adaptive spec keeps its canonical text byte for byte.
+        if self.precision is not None:
+            adaptive: dict[str, Any] = {"precision": self.precision}
+            if self.batch_size is not None:
+                adaptive["batch_size"] = self.batch_size
+            if self.max_trials is not None:
+                adaptive["max_trials"] = self.max_trials
+            data["adaptive"] = adaptive
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON serialization (stable across field ordering)."""
@@ -389,6 +444,7 @@ class SweepSpec:
         allowed = {
             "schema", "name", "description", "axes", "trials", "seed",
             "engine", "fast_path_only", "max_rounds", "allow_timeout",
+            "adaptive",
         }
         unknown = set(data) - allowed
         if unknown:
@@ -419,6 +475,19 @@ class SweepSpec:
         seed = data.get("seed", {})
         if not isinstance(seed, Mapping):
             raise ConfigurationError("'seed' must be a mapping {policy, base}")
+        adaptive = data.get("adaptive", {})
+        if not isinstance(adaptive, Mapping):
+            raise ConfigurationError(
+                "'adaptive' must be a mapping {precision, batch_size, max_trials}"
+            )
+        unknown_adaptive = set(adaptive) - {"precision", "batch_size", "max_trials"}
+        if unknown_adaptive:
+            raise ConfigurationError(
+                f"unknown adaptive fields: {sorted(unknown_adaptive)}"
+            )
+        precision = adaptive.get("precision")
+        batch_size = adaptive.get("batch_size")
+        max_trials = adaptive.get("max_trials")
         return cls(
             name=str(data.get("name", "")),
             description=str(data.get("description", "")),
@@ -443,6 +512,9 @@ class SweepSpec:
             fast_path_only=bool(data.get("fast_path_only", False)),
             max_rounds=data.get("max_rounds"),
             allow_timeout=bool(data.get("allow_timeout", False)),
+            precision=None if precision is None else float(precision),
+            batch_size=None if batch_size is None else int(batch_size),
+            max_trials=None if max_trials is None else int(max_trials),
         )
 
 

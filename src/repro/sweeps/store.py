@@ -100,6 +100,28 @@ def point_key(point: SweepPoint, family: str) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def adaptive_key(point: SweepPoint, family: str) -> str:
+    """Content key of one point's *adaptive* (accumulating) result record.
+
+    Adaptive runs grow a point's trial count batch by batch, so the key
+    covers every configuration field except ``trials``
+    (:meth:`SweepPoint.canonical_base`): all batches of one point — across
+    interruptions, resumes and precision changes — accumulate under one key,
+    and the append-only shard lines are the batch-by-batch trajectory.
+    """
+    if family not in ("vectorized", "object"):
+        raise ConfigurationError(
+            f"point keys are per result family ('vectorized'/'object'), got {family!r}"
+        )
+    payload = {
+        "schema": STORE_SCHEMA_VERSION,
+        "engine": family,
+        "kind": "adaptive",
+        "point": point.canonical_base(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
 def experiment_key(experiment_id: str, mode: str) -> str:
     """Content key of one E1–E10 experiment trajectory (id + sweep mode)."""
     payload = {
@@ -128,9 +150,43 @@ def sweep_record(point: SweepPoint, result: TrialsResult, engine: str) -> dict[s
     }
 
 
+def adaptive_record(
+    point: SweepPoint,
+    result: TrialsResult,
+    engine: str,
+    *,
+    precision: float,
+    batch_size: int,
+    max_trials: int,
+    z: float,
+) -> dict[str, Any]:
+    """Build the stored record for one point's accumulated adaptive result.
+
+    The layout is a :func:`sweep_record` whose embedded point carries the
+    *accumulated* trial count (so :func:`result_from_record` rebuilds the
+    full :class:`SweepResult` unchanged), plus an ``adaptive`` block recording
+    the targets the accumulation ran under.
+    """
+    from dataclasses import replace
+
+    accumulated = replace(point, trials=result.num_trials)
+    record = sweep_record(accumulated, result, engine)
+    record["kind"] = "adaptive-point"
+    record["adaptive"] = {
+        "precision": precision,
+        "batch_size": batch_size,
+        "max_trials": max_trials,
+        "z": z,
+        "initial_trials": point.trials,
+    }
+    return record
+
+
 def result_from_record(record: Mapping[str, Any]) -> SweepResult:
-    """Rebuild a full :class:`SweepResult` from a stored sweep-point record."""
-    if record.get("kind") != "sweep-point":
+    """Rebuild a full :class:`SweepResult` from a stored sweep-point record
+    (one-shot ``sweep-point`` and accumulated ``adaptive-point`` records share
+    the trial-table layout)."""
+    if record.get("kind") not in ("sweep-point", "adaptive-point"):
         raise ConfigurationError(
             f"record is not a sweep point (kind={record.get('kind')!r})"
         )

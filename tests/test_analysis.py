@@ -29,7 +29,9 @@ from repro.analysis.statistics import (
     geometric_mean,
     loglog_slope,
     mean_confidence_interval,
+    relative_ci_width,
     success_rate,
+    trials_for_rate_width,
 )
 
 
@@ -188,3 +190,114 @@ class TestStatistics:
             geometric_mean([])
         with pytest.raises(ValueError):
             geometric_mean([1.0, -2.0])
+
+
+class TestWilsonCalibration:
+    """Statistical-guarantee tests: the Wilson interval must actually deliver
+    (close to) its nominal coverage, everywhere the adaptive executor relies
+    on it.  Seeded Monte-Carlo, so the measured coverages are exact
+    repeatable numbers; the tolerance (3 points under nominal) absorbs the
+    known oscillation of the Wilson interval's exact coverage, whose worst
+    dip on this grid is ~0.932 at p=0.01, n=400 (computed exactly from the
+    binomial pmf), plus ~0.7 points of Monte-Carlo noise at 4000 reps —
+    never a real calibration failure.
+    """
+
+    REPS = 4000
+    TOLERANCE = 0.03
+
+    def _coverage(self, p, trials, *, z=1.96, nominal=None, seed=0):
+        rng = np.random.default_rng([seed, trials, int(p * 1000)])
+        covered = 0
+        for successes in rng.binomial(trials, p, size=self.REPS):
+            if success_rate(int(successes), trials, z=z).contains(p):
+                covered += 1
+        return covered / self.REPS
+
+    @pytest.mark.parametrize("p", [0.01, 0.1, 0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("trials", [20, 400])
+    def test_coverage_is_at_least_nominal_at_95(self, p, trials):
+        assert self._coverage(p, trials) >= 0.95 - self.TOLERANCE
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_coverage_tracks_a_different_quantile(self, p):
+        # z = 1.0 is nominal 68.3%: the interval must recalibrate with z,
+        # not just happen to work at 1.96.
+        coverage = self._coverage(p, 100, z=1.0)
+        assert 0.683 - 0.03 <= coverage
+
+    def test_coverage_is_not_grossly_conservative(self):
+        # A degenerate "[0, 1] always" interval would pass the floor checks;
+        # at the easiest cell the coverage must stay below 100%.
+        assert self._coverage(0.5, 400) < 0.999
+
+    def test_all_failures_interval_is_anchored_at_zero(self):
+        estimate = success_rate(0, 25)
+        assert estimate.rate == 0.0
+        assert estimate.low == 0.0
+        assert 0.0 < estimate.high < 1.0
+
+    def test_all_successes_interval_is_anchored_at_one(self):
+        estimate = success_rate(25, 25)
+        assert estimate.rate == 1.0
+        assert estimate.high == 1.0
+        assert 0.0 < estimate.low < 1.0
+        # At the boundary the width is exactly z^2 / (n + z^2) — the hard
+        # floor that sizes the adaptive executor's minimum trial count.
+        z = 1.96
+        assert estimate.width == pytest.approx(z * z / (25 + z * z))
+
+    def test_width_shrinks_with_trials_and_grows_with_z(self):
+        widths = [success_rate(n // 2, n).width for n in (20, 80, 320)]
+        assert widths[0] > widths[1] > widths[2]
+        by_z = [success_rate(50, 100, z=z).width for z in (1.0, 1.96, 3.0)]
+        assert by_z[0] < by_z[1] < by_z[2]
+
+    def test_interval_always_stays_inside_the_unit_range(self):
+        for trials in (1, 7, 33):
+            for successes in range(trials + 1):
+                estimate = success_rate(successes, trials)
+                assert 0.0 <= estimate.low <= estimate.rate <= estimate.high <= 1.0
+
+
+class TestAdaptivePrecisionHelpers:
+    def test_relative_ci_width_matches_the_interval(self):
+        values = [10.0, 12.0, 9.0, 11.0, 13.0, 8.0]
+        mean, low, high = mean_confidence_interval(values)
+        assert relative_ci_width(values) == pytest.approx((high - low) / mean)
+
+    def test_relative_ci_width_is_scale_free_above_one(self):
+        values = [10.0, 12.0, 9.0, 11.0]
+        scaled = [v * 100 for v in values]
+        assert relative_ci_width(values) == pytest.approx(relative_ci_width(scaled))
+
+    def test_relative_ci_width_of_a_constant_sample_is_zero(self):
+        assert relative_ci_width([7.0, 7.0, 7.0]) == 0.0
+        assert relative_ci_width([5.0]) == 0.0
+
+    def test_relative_ci_width_guards_near_zero_means(self):
+        # The max(|mean|, 1) denominator keeps near-zero means from
+        # exploding the relative width.
+        values = [-0.01, 0.01, -0.01, 0.01]
+        assert relative_ci_width(values) < 1.0
+
+    def test_trials_for_rate_width_is_achievable(self):
+        # Running the planned trial count at the planned rate must land at
+        # or under the requested width (the bound is conservative).
+        for rate in (0.0, 0.5, 0.9, 1.0):
+            for width in (0.05, 0.1, 0.2):
+                needed = trials_for_rate_width(rate, width)
+                successes = round(rate * needed)
+                assert success_rate(successes, needed).width <= width * 1.05
+
+    def test_trials_for_rate_width_monotonicity(self):
+        assert trials_for_rate_width(0.5, 0.05) > trials_for_rate_width(0.5, 0.1)
+        assert trials_for_rate_width(1.0, 0.1) == trials_for_rate_width(0.0, 0.1)
+
+    def test_trials_for_rate_width_validation(self):
+        with pytest.raises(ValueError):
+            trials_for_rate_width(1.5, 0.1)
+        with pytest.raises(ValueError):
+            trials_for_rate_width(0.5, 0.0)
+        with pytest.raises(ValueError):
+            trials_for_rate_width(0.5, 1.0)
