@@ -1,0 +1,155 @@
+"""Disabled-telemetry overhead benchmark.
+
+The observability contract (docs/observability.md) promises that leaving the
+instrumentation sites in the hot paths costs under 2% of engine throughput
+when tracing is disabled — the NullTracer path is a module-global read plus
+an empty method call.  Direct A/B wall-clock comparison of two full sweeps
+cannot resolve sub-2% differences above run-to-run noise, so the assertion
+is built from the measurable pieces instead:
+
+1. Time the *disabled-path cost of one instrumentation site* directly (a
+   ``current_tracer().count(...)`` call and a ``with current_tracer().span``
+   entry/exit against the NullTracer), in nanoseconds per call.
+2. Count how many times the sites actually fire during a reference sweep by
+   running it once traced (every ``count`` adds 1 to a counter; every span
+   is one event).
+3. The disabled overhead is then (site cost x site calls) against the
+   untraced wall time of the same sweep — asserted below 2%.
+
+The traced/untraced runs are also checked bit-identical, and the per-stage
+wall-time breakdown plus the measured ratios are folded into
+``benchmarks/results/summary.json`` (entry ``trace-overhead``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import update_summary
+
+from repro.core.runner import AgreementExperiment
+from repro.engine import run_sweep
+from repro.observability import Tracer, activate, current_tracer, trace_events
+from repro.observability.report import stage_rows, trace_breakdown
+
+#: The reference sweep: large enough that the engine loop dominates, small
+#: enough for CI (one to two seconds untraced).
+BENCH_N = 512
+BENCH_T = 64
+BENCH_TRIALS = 32
+
+#: The promised ceiling on the disabled-path cost.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Calibration loop for the per-site cost measurement.
+SITE_LOOP = 200_000
+
+
+def _run_reference_sweep():
+    experiment = AgreementExperiment(
+        n=BENCH_N, t=BENCH_T, protocol="committee-ba", adversary="coin-attack",
+        inputs="split",
+    )
+    return run_sweep(
+        experiment=experiment, trials=BENCH_TRIALS, base_seed=23,
+        engine="vectorized",
+    )
+
+
+def _trial_rows(result):
+    return [
+        (t.seed, t.rounds, t.phases, t.agreement, t.validity,
+         t.messages, t.bits, t.corrupted, t.timed_out)
+        for t in result.trials
+    ]
+
+
+def _null_site_cost_ns() -> tuple[float, float]:
+    """Per-call cost (ns) of a disabled counter site and a disabled span site."""
+    tracer = current_tracer()
+    assert not tracer.enabled, "calibration must run against the NullTracer"
+
+    started = time.perf_counter_ns()
+    for _ in range(SITE_LOOP):
+        current_tracer().count("bench")
+    count_ns = (time.perf_counter_ns() - started) / SITE_LOOP
+
+    started = time.perf_counter_ns()
+    for _ in range(SITE_LOOP):
+        with current_tracer().span("bench"):
+            pass
+    span_ns = (time.perf_counter_ns() - started) / SITE_LOOP
+    return count_ns, span_ns
+
+
+def test_disabled_tracing_overhead_under_two_percent():
+    """Instrumentation left in the hot paths must cost <2% when disabled."""
+    # Untraced wall time (best of three: the floor is the honest baseline,
+    # anything above it is scheduler noise that would understate overhead).
+    disabled_seconds = []
+    for _ in range(3):
+        started = time.perf_counter()
+        plain = _run_reference_sweep()
+        disabled_seconds.append(time.perf_counter() - started)
+    disabled = min(disabled_seconds)
+
+    # One traced run: bit-identity plus the actual site-fire counts.
+    tracer = Tracer(run_id="bench-trace-overhead")
+    started = time.perf_counter()
+    with activate(tracer):
+        traced = _run_reference_sweep()
+    enabled = time.perf_counter() - started
+    assert _trial_rows(traced) == _trial_rows(plain), (
+        "tracing changed the results — the determinism contract is broken"
+    )
+
+    count_calls = sum(tracer.counters.values())
+    span_calls = sum(
+        1 for event in tracer.events() if event.get("event") == "span"
+    )
+    count_ns, span_ns = _null_site_cost_ns()
+    overhead_ns = count_calls * count_ns + span_calls * span_ns
+    overhead = overhead_ns / (disabled * 1e9)
+
+    breakdown = trace_breakdown(trace_events(tracer))
+    traced_share = (
+        sum(stage["self_ns"] for stage in breakdown["stages"].values())
+        / breakdown["wall_ns"]
+        if breakdown["wall_ns"]
+        else 0.0
+    )
+    print(
+        f"\ndisabled {disabled * 1e3:.1f} ms, enabled {enabled * 1e3:.1f} ms "
+        f"(ratio {enabled / disabled:.3f}); "
+        f"{count_calls} counter calls @ {count_ns:.1f} ns + "
+        f"{span_calls} span calls @ {span_ns:.1f} ns "
+        f"-> disabled overhead {overhead * 100:.4f}% of wall"
+    )
+    update_summary(
+        "trace-overhead",
+        {
+            "kind": "throughput",
+            "n": BENCH_N,
+            "trials": BENCH_TRIALS,
+            "disabled_seconds": disabled,
+            "enabled_seconds": enabled,
+            "enabled_ratio": enabled / disabled,
+            "counter_calls": count_calls,
+            "span_calls": span_calls,
+            "null_count_ns": count_ns,
+            "null_span_ns": span_ns,
+            "disabled_overhead_fraction": overhead,
+            "stage_breakdown": {
+                row["stage"]: {
+                    "calls": row["calls"],
+                    "cum_ms": row["cum_ms"],
+                    "self_ms": row["self_ms"],
+                }
+                for row in stage_rows(trace_events(tracer))
+            },
+        },
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation costs {overhead * 100:.2f}% "
+        f"(> {MAX_DISABLED_OVERHEAD * 100:.0f}%) of the reference sweep"
+    )

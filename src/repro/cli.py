@@ -47,6 +47,16 @@ Python:
     planes and how each is cross-validated.  ``--markdown`` emits the blocks
     embedded in ``docs/topologies.md``.
 
+``trace``
+    Inspect exported telemetry traces (:mod:`repro.observability`):
+    ``report`` folds a ``<run_id>.jsonl`` trace into the per-stage wall-time
+    breakdown plus counter totals, ``validate`` checks a file against the
+    schema.  Traces are produced by ``--trace`` on ``run``/``trials``/
+    ``sweep run`` (or ``REPRO_TRACE=1``) and land under
+    ``benchmarks/results/traces/`` unless ``REPRO_TRACE_DIR`` redirects them.
+    Tracing never changes results: outputs and store keys are bit-identical
+    with tracing on or off.
+
 ``run``/``trials`` accept ``--topology`` (any catalogue name) and ``--loss``
 (an i.i.d. per-edge drop probability); the defaults — the clique with no
 loss — reproduce the historical reliable-broadcast behaviour bit-for-bit.
@@ -63,12 +73,16 @@ Examples::
     python -m repro sweep run off-clique-ladder --workers 4
     python -m repro sweep status scale-ladder
     python -m repro sweep report e6-quick
+    python -m repro trials --n 512 --trials 64 --trace
+    python -m repro trace report benchmarks/results/traces/<run_id>.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Sequence
 
 from repro.core.runner import (
@@ -87,6 +101,16 @@ from repro.engine import (
 )
 from repro.metrics.collectors import collect_run_metrics, collect_trials_metrics
 from repro.metrics.reporting import format_table
+from repro.observability import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activate,
+    env_enabled,
+    object_trace_events,
+    trace_events,
+    write_trace,
+)
 from repro.simulator.planes import DEFAULT_BACKEND, ENV_VAR, available_backends
 from repro.topology import TOPOLOGIES
 
@@ -123,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run a single agreement execution")
     _add_common_arguments(run_parser)
     run_parser.add_argument("--trace", action="store_true",
-                            help="print the adaptive corruption schedule")
+                            help="print the adaptive corruption schedule and "
+                                 "export the per-round object trace as a "
+                                 "JSONL telemetry file (also: REPRO_TRACE=1)")
 
     trials_parser = subparsers.add_parser("trials", help="run many seeds and aggregate")
     _add_common_arguments(trials_parser)
@@ -143,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="plane backend for the vectorized kernels "
                                     "(default: $REPRO_PLANE_BACKEND, then numpy); "
                                     "all backends are bit-identical")
+    trials_parser.add_argument("--trace", action="store_true",
+                               help="record a span/counter telemetry trace and "
+                                    "export it as JSONL (also: REPRO_TRACE=1; "
+                                    "results are bit-identical either way)")
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the E1-E10 experiment tables"
@@ -220,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument("--batch", type=int, default=None,
                            help="adaptive batch size (overrides the spec; "
                                 "default: the spec's initial trials)")
+    sweep_run.add_argument("--trace", action="store_true",
+                           help="record a span/counter telemetry trace and "
+                                "export it as JSONL (also: REPRO_TRACE=1; "
+                                "results and store keys are bit-identical "
+                                "either way)")
 
     sweep_status = sweep_subparsers.add_parser(
         "status", help="report the spec's cache coverage without executing"
@@ -245,17 +280,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true",
         help="emit the library table as a marked markdown block (the exact "
              "content embedded in docs/sweeps.md, enforced by tests/test_docs.py)")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect exported telemetry traces"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_subparsers.add_parser(
+        "report", help="fold a trace into the per-stage wall-time breakdown"
+    )
+    trace_report.add_argument("file", metavar="FILE",
+                              help="a <run_id>.jsonl trace file (written by "
+                                   "--trace / REPRO_TRACE=1)")
+    trace_validate = trace_subparsers.add_parser(
+        "validate", help="check a trace file against the JSONL schema"
+    )
+    trace_validate.add_argument("file", metavar="FILE",
+                                help="a <run_id>.jsonl trace file")
     return parser
 
 
+def _cli_tracer(enabled: bool, command: str) -> Tracer | NullTracer:
+    """A real tracer when ``--trace`` / ``$REPRO_TRACE`` asks for one."""
+    if not (enabled or env_enabled()):
+        return NULL_TRACER
+    run_id = f"{command}-{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}"
+    return Tracer(run_id=run_id)
+
+
+def _export_trace(tracer: Tracer | NullTracer) -> None:
+    """Write an enabled tracer out and print the greppable path line."""
+    if not tracer.enabled:
+        return
+    path = write_trace(tracer)
+    print(f"trace written: {path} ({len(trace_events(tracer))} events)")
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    tracing = args.trace or env_enabled()
     result = run_agreement(
         n=args.n, t=args.t, protocol=args.protocol, adversary=args.adversary,
         inputs=args.inputs, seed=args.seed, alpha=args.alpha,
-        topology=args.topology, loss=args.loss, collect_trace=args.trace,
+        topology=args.topology, loss=args.loss, collect_trace=tracing,
     )
     print(format_table([collect_run_metrics(result)]))
-    if args.trace and result.trace is not None:
+    if tracing and result.trace is not None:
         schedule = result.trace.corruption_schedule()
         if schedule:
             print("\ncorruption schedule (round -> node):")
@@ -263,6 +331,12 @@ def _command_run(args: argparse.Namespace) -> int:
                 print(f"  {round_index:4d} -> {node_id}")
         else:
             print("\nno corruptions occurred")
+        # The object simulator's per-round trace in the telemetry schema:
+        # one object_round per RoundRecord plus the summary event.
+        tracer = _cli_tracer(True, "run")
+        for event in object_trace_events(result.trace):
+            tracer.emit(event)
+        _export_trace(tracer)
     return 0 if result.agreement and result.validity else 1
 
 
@@ -276,12 +350,18 @@ def _command_trials(args: argparse.Namespace) -> int:
     if engine == "object" and args.workers is not None and args.workers > 1:
         # An explicit worker count is an explicit request for the pool.
         engine = "object-mp"
-    trials = run_sweep(
-        experiment=experiment, trials=args.trials, base_seed=args.seed,
-        engine=engine, workers=args.workers, backend=args.backend,
-    )
+    tracer = _cli_tracer(args.trace, "trials")
+    with activate(tracer):
+        with tracer.span("cli.trials", protocol=args.protocol,
+                         adversary=args.adversary, n=args.n,
+                         trials=args.trials):
+            trials = run_sweep(
+                experiment=experiment, trials=args.trials, base_seed=args.seed,
+                engine=engine, workers=args.workers, backend=args.backend,
+            )
     row = {"engine": trials.engine, **collect_trials_metrics(trials)}
     print(format_table([row]))
+    _export_trace(tracer)
     return 0 if trials.agreement_rate == 1.0 else 1
 
 
@@ -401,6 +481,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 print(f"  {outcome.status:8s} {outcome.point.label()}  "
                       f"[{outcome.key[:12]}]")
             print(report.summary_line())
+            print(report.cache_line())
             return 0
         if args.sweep_command == "report":
             if spec.adaptive:
@@ -418,6 +499,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                       f"run `repro sweep run {args.spec}`)")
             return 0
         if args.sweep_command == "run":
+            tracer = _cli_tracer(args.trace, "sweep-run")
             adaptive = args.adaptive or args.precision is not None or spec.adaptive
             if adaptive:
                 def batch_progress(outcome, batches):
@@ -429,14 +511,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
                               f"{outcome.seconds:.2f}s, {outcome.engine})",
                               flush=True)
 
-                report = run_adaptive(
-                    spec, store=store, engine=args.engine,
-                    precision=args.precision, max_trials=args.max_trials,
-                    batch_size=args.batch, workers=args.workers,
-                    backend=args.backend, limit=args.limit,
-                    progress=batch_progress,
-                )
+                with activate(tracer):
+                    with tracer.span("cli.sweep_run", spec=spec.name,
+                                     adaptive=True):
+                        report = run_adaptive(
+                            spec, store=store, engine=args.engine,
+                            precision=args.precision, max_trials=args.max_trials,
+                            batch_size=args.batch, workers=args.workers,
+                            backend=args.backend, limit=args.limit,
+                            progress=batch_progress,
+                        )
                 print(report.summary_line())
+                _export_trace(tracer)
                 return 0
 
             def progress(outcome, index, total):
@@ -446,17 +532,40 @@ def _command_sweep(args: argparse.Namespace) -> int:
                     print(f"  [{index + 1}/{total}] {outcome.status:8s} "
                           f"{outcome.point.label()}{timing}", flush=True)
 
-            report = run_spec(
-                spec, store=store, engine=args.engine,
-                workers=args.workers, backend=args.backend,
-                limit=args.limit, progress=progress,
-            )
+            with activate(tracer):
+                with tracer.span("cli.sweep_run", spec=spec.name,
+                                 adaptive=False):
+                    report = run_spec(
+                        spec, store=store, engine=args.engine,
+                        workers=args.workers, backend=args.backend,
+                        limit=args.limit, progress=progress,
+                    )
             print(report.summary_line())
+            print(report.cache_line())
+            _export_trace(tracer)
             return 0
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled sweep command {args.sweep_command!r}")
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.observability import read_trace, render_report
+
+    try:
+        events = read_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.trace_command == "validate":
+        print(f"{args.file}: valid trace "
+              f"({len(events)} events, schema {events[0]['schema']})")
+        return 0
+    if args.trace_command == "report":
+        print(render_report(events))
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -475,6 +584,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_topologies(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "trace":
+        return _command_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -43,6 +43,8 @@ same dispatch for the standalone common-coin Monte-Carlo (experiment E2).
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -67,6 +69,8 @@ from repro.core.runner import (
     run_single_trial,
 )
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.observability.export import read_trace, write_trace
+from repro.observability.tracer import Tracer, activate, current_tracer
 from repro.simulator.vectorized import COMMITTEE_ENGINE_HOOKS, run_vectorized_trials
 
 #: Engine names accepted by :func:`run_sweep`.
@@ -353,14 +357,35 @@ def _run_vectorized_sweep(
 
 def _vectorized_shard(
     payload: tuple[
-        AgreementExperiment, int, int, ProtocolParameters | None, int, str | None
+        AgreementExperiment,
+        int,
+        int,
+        ProtocolParameters | None,
+        int,
+        str | None,
+        tuple[int, str] | None,
     ],
 ) -> list[TrialSummary]:
-    """Worker entry point: one contiguous trial range of a sharded sweep."""
-    experiment, count, base_seed, params, trial_offset, backend = payload
-    return _run_vectorized_sweep(
-        experiment, count, base_seed, params, trial_offset, backend
-    )
+    """Worker entry point: one contiguous trial range of a sharded sweep.
+
+    When the parent is tracing, the payload carries a ``(shard_index, path)``
+    child-trace assignment: the worker runs under its own shard-tagged
+    :class:`Tracer` and exports it to ``path`` for the parent to merge
+    (tracers are per process, never inherited through the pool).
+    """
+    experiment, count, base_seed, params, trial_offset, backend, trace_spec = payload
+    if trace_spec is None:
+        return _run_vectorized_sweep(
+            experiment, count, base_seed, params, trial_offset, backend
+        )
+    shard_index, trace_path = trace_spec
+    tracer = Tracer(run_id=f"shard-{shard_index}", shard=shard_index)
+    with activate(tracer):
+        summaries = _run_vectorized_sweep(
+            experiment, count, base_seed, params, trial_offset, backend
+        )
+    write_trace(tracer, trace_path)
+    return summaries
 
 
 def _run_vectorized_sharded(
@@ -388,16 +413,42 @@ def _run_vectorized_sharded(
         return _run_vectorized_sweep(
             experiment, trials, base_seed, params, trial_offset, backend
         )
+    tracer = current_tracer()
+    child_dir = (
+        tempfile.mkdtemp(prefix="repro-trace-shards-") if tracer.enabled else None
+    )
     size = -(-trials // pool_size)
-    shards = [
-        (
-            experiment, min(size, trials - start), base_seed, params,
-            trial_offset + start, backend,
+    shards = []
+    for shard_index, start in enumerate(range(0, trials, size)):
+        trace_spec = (
+            None
+            if child_dir is None
+            else (
+                shard_index,
+                os.path.join(child_dir, f"shard-{shard_index:03d}.jsonl"),
+            )
         )
-        for start in range(0, trials, size)
-    ]
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        parts = list(pool.map(_vectorized_shard, shards))
+        shards.append(
+            (
+                experiment, min(size, trials - start), base_seed, params,
+                trial_offset + start, backend, trace_spec,
+            )
+        )
+    try:
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            parts = list(pool.map(_vectorized_shard, shards))
+        if child_dir is not None:
+            # Merge the child traces in shard order; each child's events keep
+            # their own sequence numbers, so the merged trace orders
+            # deterministically by (shard, sequence) regardless of worker
+            # scheduling.
+            for payload in shards:
+                trace_spec = payload[6]
+                if trace_spec is not None and os.path.exists(trace_spec[1]):
+                    tracer.absorb(read_trace(trace_spec[1]), shard=trace_spec[0])
+    finally:
+        if child_dir is not None:
+            shutil.rmtree(child_dir, ignore_errors=True)
     merged = TrialsResult.merge(
         [TrialsResult(experiment=experiment, trials=part) for part in parts]
     )
@@ -493,19 +544,26 @@ def run_sweep(
     elif n is not None or t is not None:
         raise ConfigurationError("pass either (n, t) or experiment=, not both")
 
-    chosen = select_engine(
-        experiment.protocol,
-        experiment.adversary,
-        engine=engine,
-        trials=trials,
-        n=experiment.n,
-        workers=workers,
-        max_rounds=experiment.max_rounds,
-        topology=experiment.topology,
-        loss=experiment.loss,
-        protocol_kwargs=experiment.protocol_kwargs,
-        adversary_kwargs=experiment.adversary_kwargs,
-    )
+    tracer = current_tracer()
+    with tracer.span(
+        "dispatch.select_engine",
+        protocol=experiment.protocol,
+        adversary=experiment.adversary,
+        requested=engine,
+    ):
+        chosen = select_engine(
+            experiment.protocol,
+            experiment.adversary,
+            engine=engine,
+            trials=trials,
+            n=experiment.n,
+            workers=workers,
+            max_rounds=experiment.max_rounds,
+            topology=experiment.topology,
+            loss=experiment.loss,
+            protocol_kwargs=experiment.protocol_kwargs,
+            adversary_kwargs=experiment.adversary_kwargs,
+        )
     if params is not None and (
         chosen not in ("vectorized", "vectorized-mp")
         or not PROTOCOL_KERNELS[experiment.protocol].supports_params
@@ -515,21 +573,33 @@ def run_sweep(
             "committee-family kernel"
         )
 
-    if chosen == "vectorized":
-        summaries = _run_vectorized_sweep(
-            experiment, trials, base_seed, params, trial_offset, backend
-        )
-    elif chosen == "vectorized-mp":
-        summaries = _run_vectorized_sharded(
-            experiment, trials, base_seed, params, workers, backend, trial_offset
-        )
-    else:
-        # The object engines' global counter is the master seed itself:
-        # trial k of the call runs on seed base_seed + trial_offset + k.
-        summaries = _run_object_sweep(
-            experiment, trials, base_seed + trial_offset, workers,
-            parallel=chosen == "object-mp",
-        )
+    tracer.count(
+        "dispatch.kernel_path"
+        if chosen in ("vectorized", "vectorized-mp")
+        else "dispatch.object_path"
+    )
+    with tracer.span(
+        f"sweep.{chosen}",
+        protocol=experiment.protocol,
+        adversary=experiment.adversary,
+        n=experiment.n,
+        trials=trials,
+    ):
+        if chosen == "vectorized":
+            summaries = _run_vectorized_sweep(
+                experiment, trials, base_seed, params, trial_offset, backend
+            )
+        elif chosen == "vectorized-mp":
+            summaries = _run_vectorized_sharded(
+                experiment, trials, base_seed, params, workers, backend, trial_offset
+            )
+        else:
+            # The object engines' global counter is the master seed itself:
+            # trial k of the call runs on seed base_seed + trial_offset + k.
+            summaries = _run_object_sweep(
+                experiment, trials, base_seed + trial_offset, workers,
+                parallel=chosen == "object-mp",
+            )
     return SweepResult(experiment=experiment, trials=summaries, engine=chosen)
 
 

@@ -15,7 +15,10 @@ from repro.simulator.scheduler import RunResult
 
 def collect_run_metrics(result: RunResult) -> dict[str, object]:
     """One row summarising a single execution."""
-    phases = result.extra.get("phases", (result.rounds + 1) // 2)
+    # Protocols that track phases report them via ``extra["phases"]``; when a
+    # protocol does not, the row carries ``None`` (rendered as ``-``) instead
+    # of a fabricated ``ceil(rounds / 2)`` guess.
+    phases = result.extra.get("phases")
     return {
         "protocol": result.protocol_name,
         "adversary": result.adversary_name,

@@ -1,0 +1,132 @@
+"""Trace aggregation: the per-stage wall-time breakdown behind
+``repro trace report``.
+
+Spans fold into one row per stage name: call count, *cumulative* time (sum of
+span durations) and *self* time (cumulative minus the time spent in directly
+nested spans), plus each stage's share of the traced wall time — the total
+duration of the root spans, i.e. what an end-to-end timer around the traced
+command would have measured.  Counter totals render as a second table, so a
+stage report shows both where the time went and what the backends did
+(pack/unpack events, word ops, cache hits) while it passed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "counter_rows",
+    "render_report",
+    "stage_rows",
+    "trace_breakdown",
+]
+
+
+def _span_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [event for event in events if event.get("event") == "span"]
+
+
+def trace_breakdown(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold a trace's spans and counters into one aggregate structure.
+
+    Returns ``{"wall_ns", "stages", "counters", "object_rounds"}`` where
+    ``stages`` maps stage name to ``{"calls", "cum_ns", "self_ns"}``.
+    ``wall_ns`` is the summed duration of the parent process' root spans
+    (spans with no parent and no shard); if the trace only has worker spans,
+    all root spans count.
+    """
+    events = list(events)
+    spans = _span_events(events)
+    durations: dict[tuple[Any, int], int] = {}
+    child_time: dict[tuple[Any, int], int] = {}
+    for span in spans:
+        durations[(span.get("shard"), span["seq"])] = span["duration_ns"]
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            key = (span.get("shard"), parent)
+            child_time[key] = child_time.get(key, 0) + span["duration_ns"]
+
+    stages: dict[str, dict[str, int]] = {}
+    for span in spans:
+        row = stages.setdefault(span["name"], {"calls": 0, "cum_ns": 0, "self_ns": 0})
+        key = (span.get("shard"), span["seq"])
+        row["calls"] += 1
+        row["cum_ns"] += span["duration_ns"]
+        row["self_ns"] += span["duration_ns"] - child_time.get(key, 0)
+
+    roots = [span for span in spans if span.get("parent") is None]
+    parent_roots = [span for span in roots if span.get("shard") is None]
+    wall_ns = sum(span["duration_ns"] for span in (parent_roots or roots))
+
+    counters = {
+        event["name"]: event["value"]
+        for event in events
+        if event.get("event") == "counter"
+    }
+    object_rounds = sum(1 for event in events if event.get("event") == "object_round")
+    return {
+        "wall_ns": wall_ns,
+        "stages": stages,
+        "counters": counters,
+        "object_rounds": object_rounds,
+    }
+
+
+def stage_rows(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The per-stage breakdown as table rows, widest cumulative time first."""
+    breakdown = trace_breakdown(events)
+    wall = breakdown["wall_ns"]
+    rows = []
+    for name, stage in sorted(
+        breakdown["stages"].items(), key=lambda item: -item[1]["cum_ns"]
+    ):
+        rows.append(
+            {
+                "stage": name,
+                "calls": stage["calls"],
+                "cum_ms": stage["cum_ns"] / 1e6,
+                "self_ms": stage["self_ns"] / 1e6,
+                "cum_share": stage["cum_ns"] / wall if wall else None,
+                "self_share": stage["self_ns"] / wall if wall else None,
+            }
+        )
+    return rows
+
+
+def counter_rows(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The flushed counter totals as table rows, sorted by name."""
+    breakdown = trace_breakdown(events)
+    return [
+        {"counter": name, "value": value}
+        for name, value in sorted(breakdown["counters"].items())
+    ]
+
+
+def render_report(events: Iterable[dict[str, Any]]) -> str:
+    """The human-readable stage report of one trace."""
+    from repro.metrics.reporting import format_table
+
+    events = list(events)
+    breakdown = trace_breakdown(events)
+    header = next(
+        (event for event in events if event.get("event") == "trace"), {}
+    )
+    lines = []
+    run_id = header.get("run_id")
+    title = f"trace {run_id}" if run_id else "trace"
+    lines.append(f"{title}: wall {breakdown['wall_ns'] / 1e6:.2f} ms traced")
+    stages = stage_rows(events)
+    if stages:
+        lines.append("")
+        lines.append("per-stage breakdown (cumulative / self, share of wall):")
+        lines.append(format_table(stages))
+    counters = counter_rows(events)
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        lines.append(format_table(counters))
+    if breakdown["object_rounds"]:
+        lines.append("")
+        lines.append(f"object rounds recorded: {breakdown['object_rounds']}")
+    return "\n".join(lines)

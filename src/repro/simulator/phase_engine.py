@@ -74,6 +74,7 @@ import numpy as np
 from repro.adversary.kernels.base import AdversaryKernel, KernelContext
 from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConfigurationError
+from repro.observability.tracer import current_tracer
 from repro.simulator.bitplanes import row_popcount
 from repro.simulator.planes import PlaneBackend, resolve_backend
 from repro.topology.counting import AdjacencyCounter
@@ -289,6 +290,10 @@ class PhaseEngine:
         # unpack shim).
         masked = self.adjacency is not None or self.loss > 0.0
         ops = resolve_backend("numpy") if masked else resolve_backend(self.backend)
+        # Telemetry reads clocks and counters only — it draws no randomness
+        # and never touches plane state, so results are bit-identical with
+        # tracing on or off (the default NullTracer makes each site a no-op).
+        tracer = current_tracer()
 
         state = self._batch_state(inputs)
         value = ops.from_bools(state["value"])
@@ -361,7 +366,8 @@ class PhaseEngine:
                 rngs=rngs, coin=self.coin,
             )
 
-        kernel.setup(context(0, 0, 0, np.ones(batch0, dtype=bool)))
+        with tracer.span("engine.setup", batch=batch0, n=n, backend=ops.name):
+            kernel.setup(context(0, 0, 0, np.ones(batch0, dtype=bool)))
 
         for phase in range(1, phase_cap + 1):
             sender_count = active.popcount()
@@ -371,27 +377,30 @@ class PhaseEngine:
                 break
             if self.compaction and live <= int(_COMPACTION_THRESHOLD * len(orig)):
                 # Compact: archive finished trials and drop their rows.
-                archive(np.flatnonzero(~running))
-                keep = np.flatnonzero(running)
-                value = value.take(keep)
-                decided = decided.take(keep)
-                corrupted = corrupted.take(keep)
-                active = active.take(keep)
-                can_update = can_update.take(keep)
-                flush_now = flush_now.take(keep)
-                flush_next = flush_next.take(keep)
-                output = output.take(keep)
-                budget = budget[keep]
-                messages = messages[keep]
-                phases = phases[keep]
-                sender_count = sender_count[keep]
-                orig = orig[keep]
-                rngs = [rngs[i] for i in keep]
-                draw_fns = [draw_fns[i] for i in keep]
-                if dealer_seeds is not None:
-                    dealer_seeds = [dealer_seeds[i] for i in keep]
-                kernel.compact(keep)
-                running = np.ones(live, dtype=bool)
+                with tracer.span(
+                    "engine.compaction", phase=phase, live=live, batch=len(orig)
+                ):
+                    archive(np.flatnonzero(~running))
+                    keep = np.flatnonzero(running)
+                    value = value.take(keep)
+                    decided = decided.take(keep)
+                    corrupted = corrupted.take(keep)
+                    active = active.take(keep)
+                    can_update = can_update.take(keep)
+                    flush_now = flush_now.take(keep)
+                    flush_next = flush_next.take(keep)
+                    output = output.take(keep)
+                    budget = budget[keep]
+                    messages = messages[keep]
+                    phases = phases[keep]
+                    sender_count = sender_count[keep]
+                    orig = orig[keep]
+                    rngs = [rngs[i] for i in keep]
+                    draw_fns = [draw_fns[i] for i in keep]
+                    if dealer_seeds is not None:
+                        dealer_seeds = [dealer_seeds[i] for i in keep]
+                    kernel.compact(keep)
+                    running = np.ones(live, dtype=bool)
             # Promote last phase's flush schedule; the plane freed by the
             # swap is reused for this phase's schedule.  Stale bits from two
             # phases ago are harmless (their nodes already left `active`).
@@ -408,48 +417,50 @@ class PhaseEngine:
             # The round's delivered-edge matrices are sampled before the
             # kernel speaks (fixed per-phase draw order: round-1 plane,
             # round-2 plane, committee shares) and only for running trials.
-            deliver1 = None
-            if masked and self.loss > 0.0:
-                if deliver_buf is None:
-                    deliver_buf = np.empty((batch0, n, n), dtype=np.float32)
-                deliver1 = sample_delivered(
-                    self.adjacency, self.loss, n, rngs, running,
-                    out=deliver_buf[: len(orig)],
-                )
-            ones_pre = value.popcount_and(active)
-            effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
-            if ctx.mutated:
-                # The kernel corrupted mid-round; the victims' honest
-                # broadcasts are discarded, so honest tallies are recomputed.
-                sender_count = active.popcount()
-                ones_honest = value.popcount_and(active)
-                ctx.mutated = False
-            else:
-                ones_honest = ones_pre
-            if masked:
-                ones_recv = receive_counts(value.bools() & active.bools(), deliver1)
-                zeros_recv = receive_counts(active.bools() & ~value.bools(), deliver1)
-                if deliver1 is None:
-                    delivered = count_delivered(active.bools(), None)
+            with tracer.span("engine.round1", phase=phase):
+                deliver1 = None
+                if masked and self.loss > 0.0:
+                    if deliver_buf is None:
+                        deliver_buf = np.empty((batch0, n, n), dtype=np.float32)
+                    deliver1 = sample_delivered(
+                        self.adjacency, self.loss, n, rngs, running,
+                        out=deliver_buf[: len(orig)],
+                    )
+                ones_pre = value.popcount_and(active)
+                effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
+                if ctx.mutated:
+                    # The kernel corrupted mid-round; the victims' honest
+                    # broadcasts are discarded, so honest tallies are recomputed.
+                    with tracer.span("engine.retally", phase=phase):
+                        sender_count = active.popcount()
+                        ones_honest = value.popcount_and(active)
+                    ctx.mutated = False
                 else:
-                    # The tallies' disjoint union is exactly `active`, so
-                    # their sum *is* the delivered-edge message counter —
-                    # sparing a third contraction against the loss matrix.
-                    delivered = (ones_recv + zeros_recv).sum(axis=1)
-                messages[running] += delivered[running]
-                ones = ones_recv + np.asarray(effect1.ones)
-                zeros = zeros_recv + np.asarray(effect1.zeros)
-            else:
-                messages[running] += sender_count[running] * n
-                ones = ones_honest[:, None] + np.asarray(effect1.ones)
-                zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
-            updatable = active.and_plane(can_update)
-            quorum1 = ones >= quorum
-            quorum0 = ~quorum1 & (zeros >= quorum)
-            quorum_any = quorum1 | quorum0
-            if quorum_any.any():
-                value.blend_mask(quorum1, updatable.and_mask(quorum_any))
-            decided.blend_mask(quorum_any, updatable)
+                    ones_honest = ones_pre
+                if masked:
+                    ones_recv = receive_counts(value.bools() & active.bools(), deliver1)
+                    zeros_recv = receive_counts(active.bools() & ~value.bools(), deliver1)
+                    if deliver1 is None:
+                        delivered = count_delivered(active.bools(), None)
+                    else:
+                        # The tallies' disjoint union is exactly `active`, so
+                        # their sum *is* the delivered-edge message counter —
+                        # sparing a third contraction against the loss matrix.
+                        delivered = (ones_recv + zeros_recv).sum(axis=1)
+                    messages[running] += delivered[running]
+                    ones = ones_recv + np.asarray(effect1.ones)
+                    zeros = zeros_recv + np.asarray(effect1.zeros)
+                else:
+                    messages[running] += sender_count[running] * n
+                    ones = ones_honest[:, None] + np.asarray(effect1.ones)
+                    zeros = (sender_count - ones_honest)[:, None] + np.asarray(effect1.zeros)
+                updatable = active.and_plane(can_update)
+                quorum1 = ones >= quorum
+                quorum0 = ~quorum1 & (zeros >= quorum)
+                quorum_any = quorum1 | quorum0
+                if quorum_any.any():
+                    value.blend_mask(quorum1, updatable.and_mask(quorum_any))
+                decided.blend_mask(quorum_any, updatable)
 
             # ---------------- Round 2 ----------------
             # Non-rushing committee corruption happens before the flips exist.
@@ -460,131 +471,134 @@ class PhaseEngine:
                     self.adjacency, self.loss, n, rngs, running,
                     out=deliver_buf[: len(orig)],
                 )
-            kernel.pre_coin(ctx)
-            if ctx.mutated:
-                sender_count = active.popcount()
-                updatable = active.and_plane(can_update)
-                ctx.mutated = False
-            if masked:
-                messages[running] += count_delivered(active.bools(), deliver2)[running]
-            else:
-                messages[running] += sender_count[running] * n
-            d1_honest = value.popcount_and3(active, decided)
-            d0_honest = active.popcount_and(decided) - d1_honest
-            if masked:
-                decided_senders = active.bools() & decided.bools()
-                d1_recv = receive_counts(value.bools() & decided_senders, deliver2)
-                d0_recv = receive_counts(decided_senders & ~value.bools(), deliver2)
-
-            # Share draws: always for the committee coin; lazily for the
-            # others, only when a share-hungry kernel can reach the coin case
-            # this phase (the honest tallies decide, since the kernel has not
-            # spoken yet) — preserving the skeleton's historical per-trial
-            # draw schedule bit for bit.
-            shares = None
-            if self.coin == "committee":
-                shares = draw_committee_shares(
-                    draw_fns, running, active.bools()[:, start:stop]
-                )
-            elif kernel.needs_shares:
+            with tracer.span("engine.pre_coin", phase=phase):
+                kernel.pre_coin(ctx)
+                if ctx.mutated:
+                    with tracer.span("engine.retally", phase=phase):
+                        sender_count = active.popcount()
+                        updatable = active.and_plane(can_update)
+                    ctx.mutated = False
+            with tracer.span("engine.round2", phase=phase):
                 if masked:
-                    # Per-recipient thresholds: a trial can reach the coin
-                    # case as soon as any recipient's view stays unassigned.
-                    assigned_honest = (
-                        (d1_recv >= quorum) | (d0_recv >= quorum)
-                        | (d1_recv >= t + 1) | (d0_recv >= t + 1)
-                    ).all(axis=1)
+                    messages[running] += count_delivered(active.bools(), deliver2)[running]
                 else:
-                    assigned_honest = (
-                        (d1_honest >= quorum) | (d0_honest >= quorum)
-                        | (d1_honest >= t + 1) | (d0_honest >= t + 1)
-                    )
-                if (running & ~assigned_honest).any():
+                    messages[running] += sender_count[running] * n
+                d1_honest = value.popcount_and3(active, decided)
+                d0_honest = active.popcount_and(decided) - d1_honest
+                if masked:
+                    decided_senders = active.bools() & decided.bools()
+                    d1_recv = receive_counts(value.bools() & decided_senders, deliver2)
+                    d0_recv = receive_counts(decided_senders & ~value.bools(), deliver2)
+
+                # Share draws: always for the committee coin; lazily for the
+                # others, only when a share-hungry kernel can reach the coin case
+                # this phase (the honest tallies decide, since the kernel has not
+                # spoken yet) — preserving the skeleton's historical per-trial
+                # draw schedule bit for bit.
+                shares = None
+                if self.coin == "committee":
                     shares = draw_committee_shares(
                         draw_fns, running, active.bools()[:, start:stop]
                     )
-            share_recv = None
-            if shares is not None:
-                honest_sum = shares.sum(axis=1, dtype=np.int64)
-                if masked and self.coin == "committee":
-                    share_plane = np.zeros((len(orig), n), dtype=np.float32)
-                    share_plane[:, start:stop] = shares
-                    share_recv = receive_counts(share_plane, deliver2)
-                if kernel.needs_shares:
-                    ctx.shares = shares
-            else:
-                honest_sum = np.zeros(len(orig), dtype=np.int64)
-            effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
-            ctx.shares = None
-            if ctx.mutated:
-                updatable = active.and_plane(can_update)
-                ctx.mutated = False
-
-            if masked:
-                d1 = d1_recv + np.asarray(effect2.decided_one)
-                d0 = d0_recv + np.asarray(effect2.decided_zero)
-            else:
-                d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
-                d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
-            reach_q1 = d1 >= quorum
-            reach_q0 = d0 >= quorum
-            # `_best_value_reaching` tie-breaking (highest count wins, value 1
-            # on ties) — it matters once an equivocating kernel pushes *both*
-            # values past a threshold for some recipients.
-            finish1 = reach_q1 & (~reach_q0 | (d1 >= d0))
-            finish0 = reach_q0 & ~finish1
-            finish_any = finish1 | finish0
-            reach1 = d1 >= t + 1
-            reach0 = d0 >= t + 1
-            adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
-            adopt0 = ~finish_any & reach0 & ~adopt1
-            coin_case = ~finish_any & ~adopt1 & ~adopt0
-
-            assigned_any = finish_any | adopt1 | adopt0
-            if assigned_any.any():
-                assigned = updatable.and_mask(assigned_any)
-                value.blend_mask(finish1 | adopt1, assigned)
-                decided.set_where(assigned)
-            if finish_any.any():
-                flush_mask = updatable.and_mask(finish_any)
-                flush_next.set_where(flush_mask)
-                can_update.xor_where(flush_mask)  # a subset of can_update
-                pending_any = True
-            else:
-                pending_any = False
-
-            # ---------------- The phase coin ----------------
-            coin_mask = updatable.and_mask(coin_case)
-            if self.coin == "committee":
-                adj = np.asarray(effect2.shares)
-                if masked:
-                    # Per-recipient share sums; the adversary's adjustments
-                    # are always delivered (worst case).
-                    assert share_recv is not None
-                    coin = (share_recv + adj) >= 0
-                elif adj.ndim:
-                    # Work in the kernel's (narrower) adjustment dtype.
-                    coin = (honest_sum.astype(adj.dtype)[:, None] + adj) >= 0
+                elif kernel.needs_shares:
+                    if masked:
+                        # Per-recipient thresholds: a trial can reach the coin
+                        # case as soon as any recipient's view stays unassigned.
+                        assigned_honest = (
+                            (d1_recv >= quorum) | (d0_recv >= quorum)
+                            | (d1_recv >= t + 1) | (d0_recv >= t + 1)
+                        ).all(axis=1)
+                    else:
+                        assigned_honest = (
+                            (d1_honest >= quorum) | (d0_honest >= quorum)
+                            | (d1_honest >= t + 1) | (d0_honest >= t + 1)
+                        )
+                    if (running & ~assigned_honest).any():
+                        shares = draw_committee_shares(
+                            draw_fns, running, active.bools()[:, start:stop]
+                        )
+                share_recv = None
+                if shares is not None:
+                    honest_sum = shares.sum(axis=1, dtype=np.int64)
+                    if masked and self.coin == "committee":
+                        share_plane = np.zeros((len(orig), n), dtype=np.float32)
+                        share_plane[:, start:stop] = shares
+                        share_recv = receive_counts(share_plane, deliver2)
+                    if kernel.needs_shares:
+                        ctx.shares = shares
                 else:
-                    coin = (honest_sum[:, None] + adj) >= 0
-                value.blend_mask(coin, coin_mask)
-            else:
-                need = running & coin_case.any(axis=1)
-                if need.any():
-                    if self.coin == "dealer":
-                        from repro.baselines.rabin import dealer_coin_bit
+                    honest_sum = np.zeros(len(orig), dtype=np.int64)
+                effect2 = kernel.round2(ctx, d1_honest, d0_honest, honest_sum)
+                ctx.shares = None
+                if ctx.mutated:
+                    updatable = active.and_plane(can_update)
+                    ctx.mutated = False
 
-                        assert dealer_seeds is not None
-                        coin_rows = np.zeros(len(orig), dtype=bool)
-                        for b in np.flatnonzero(need):
-                            coin_rows[b] = bool(dealer_coin_bit(dealer_seeds[b], phase))
-                        value.blend_mask(coin_rows[:, None], coin_mask)
-                    else:  # private
-                        coin_plane = np.zeros((len(orig), n), dtype=bool)
-                        for b in np.flatnonzero(need):
-                            coin_plane[b] = draw_fns[b](0, 2, size=n).astype(bool)
-                        value.blend_mask(coin_plane, coin_mask)
-            decided.clear_where(coin_mask)
+                if masked:
+                    d1 = d1_recv + np.asarray(effect2.decided_one)
+                    d0 = d0_recv + np.asarray(effect2.decided_zero)
+                else:
+                    d1 = d1_honest[:, None] + np.asarray(effect2.decided_one)
+                    d0 = d0_honest[:, None] + np.asarray(effect2.decided_zero)
+                reach_q1 = d1 >= quorum
+                reach_q0 = d0 >= quorum
+                # `_best_value_reaching` tie-breaking (highest count wins, value 1
+                # on ties) — it matters once an equivocating kernel pushes *both*
+                # values past a threshold for some recipients.
+                finish1 = reach_q1 & (~reach_q0 | (d1 >= d0))
+                finish0 = reach_q0 & ~finish1
+                finish_any = finish1 | finish0
+                reach1 = d1 >= t + 1
+                reach0 = d0 >= t + 1
+                adopt1 = ~finish_any & reach1 & (~reach0 | (d1 >= d0))
+                adopt0 = ~finish_any & reach0 & ~adopt1
+                coin_case = ~finish_any & ~adopt1 & ~adopt0
+
+                assigned_any = finish_any | adopt1 | adopt0
+                if assigned_any.any():
+                    assigned = updatable.and_mask(assigned_any)
+                    value.blend_mask(finish1 | adopt1, assigned)
+                    decided.set_where(assigned)
+                if finish_any.any():
+                    flush_mask = updatable.and_mask(finish_any)
+                    flush_next.set_where(flush_mask)
+                    can_update.xor_where(flush_mask)  # a subset of can_update
+                    pending_any = True
+                else:
+                    pending_any = False
+
+                # ---------------- The phase coin ----------------
+                coin_mask = updatable.and_mask(coin_case)
+                if self.coin == "committee":
+                    adj = np.asarray(effect2.shares)
+                    if masked:
+                        # Per-recipient share sums; the adversary's adjustments
+                        # are always delivered (worst case).
+                        assert share_recv is not None
+                        coin = (share_recv + adj) >= 0
+                    elif adj.ndim:
+                        # Work in the kernel's (narrower) adjustment dtype.
+                        coin = (honest_sum.astype(adj.dtype)[:, None] + adj) >= 0
+                    else:
+                        coin = (honest_sum[:, None] + adj) >= 0
+                    value.blend_mask(coin, coin_mask)
+                else:
+                    need = running & coin_case.any(axis=1)
+                    if need.any():
+                        if self.coin == "dealer":
+                            from repro.baselines.rabin import dealer_coin_bit
+
+                            assert dealer_seeds is not None
+                            coin_rows = np.zeros(len(orig), dtype=bool)
+                            for b in np.flatnonzero(need):
+                                coin_rows[b] = bool(dealer_coin_bit(dealer_seeds[b], phase))
+                            value.blend_mask(coin_rows[:, None], coin_mask)
+                        else:  # private
+                            coin_plane = np.zeros((len(orig), n), dtype=bool)
+                            for b in np.flatnonzero(need):
+                                coin_plane[b] = draw_fns[b](0, 2, size=n).astype(bool)
+                            value.blend_mask(coin_plane, coin_mask)
+                decided.clear_where(coin_mask)
 
             # Flush-phase terminations (nodes finishing this phase).
             if finishing_due:

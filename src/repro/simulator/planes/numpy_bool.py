@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.tracer import current_tracer
 from repro.simulator.bitplanes import row_popcount
 from repro.simulator.planes.base import Plane, PlaneBackend
 
@@ -32,35 +33,45 @@ class NumpyBoolPlane(Plane):
 
     # -------------------------------------------------- exact tallies
     def popcount(self) -> np.ndarray:
+        current_tracer().count("plane.bool_ops")
         return row_popcount(self.array)
 
     def popcount_and(self, other: NumpyBoolPlane) -> np.ndarray:
+        current_tracer().count("plane.bool_ops")
         return row_popcount(self.array & other.array)
 
     def popcount_and3(self, a: NumpyBoolPlane, b: NumpyBoolPlane) -> np.ndarray:
+        current_tracer().count("plane.bool_ops")
         return row_popcount(self.array & a.array & b.array)
 
     # -------------------------------------------------- temporaries
     def and_plane(self, other: NumpyBoolPlane) -> NumpyBoolPlane:
+        current_tracer().count("plane.bool_ops")
         return NumpyBoolPlane(self.array & other.array)
 
     def and_mask(self, mask: np.ndarray) -> NumpyBoolPlane:
+        current_tracer().count("plane.bool_ops")
         return NumpyBoolPlane(self.array & mask)
 
     # -------------------------------------------------- in-place updates
     def blend_mask(self, src: np.ndarray, where: NumpyBoolPlane) -> None:
+        current_tracer().count("plane.bool_ops")
         self.array ^= (self.array ^ src) & where.array
 
     def blend_plane(self, src: NumpyBoolPlane, where: NumpyBoolPlane) -> None:
+        current_tracer().count("plane.bool_ops")
         self.array ^= (self.array ^ src.array) & where.array
 
     def set_where(self, where: NumpyBoolPlane) -> None:
+        current_tracer().count("plane.bool_ops")
         self.array |= where.array
 
     def clear_where(self, where: NumpyBoolPlane) -> None:
+        current_tracer().count("plane.bool_ops")
         self.array &= ~where.array
 
     def xor_where(self, where: NumpyBoolPlane) -> None:
+        current_tracer().count("plane.bool_ops")
         self.array ^= where.array
 
     def fill_false(self) -> None:
@@ -72,6 +83,7 @@ class NumpyBoolPlane(Plane):
 
     # -------------------------------------------------- bool boundary
     def bools(self) -> np.ndarray:
+        current_tracer().count("plane.bools")
         return self.array
 
     def mark_bools_dirty(self) -> None:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.tracer import current_tracer
 from repro.simulator.planes.base import Plane, PlaneBackend
 
 __all__ = ["PackedBackend", "PackedPlane", "pack_bools", "unpack_words"]
@@ -89,6 +90,7 @@ class PackedPlane(Plane):
     # -------------------------------------------------- representation sync
     def _require_words(self) -> np.ndarray:
         if not self._words_valid:
+            current_tracer().count("plane.pack")
             self._words = pack_bools(self._bools, self.n)
             self._words_valid = True
         return self._words
@@ -100,7 +102,9 @@ class PackedPlane(Plane):
         return words
 
     def bools(self) -> np.ndarray:
+        current_tracer().count("plane.bools")
         if not self._bools_valid:
+            current_tracer().count("plane.unpack")
             if self._bools is None:
                 self._bools = unpack_words(self._words, self.n)
             else:
@@ -134,45 +138,55 @@ class PackedPlane(Plane):
 
     # -------------------------------------------------- exact tallies
     def popcount(self) -> np.ndarray:
+        current_tracer().count("plane.word_ops")
         return np.bitwise_count(self._require_words()).sum(axis=1, dtype=np.int64)
 
     def popcount_and(self, other: PackedPlane) -> np.ndarray:
+        current_tracer().count("plane.word_ops")
         words = self._require_words() & other._require_words()
         return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
 
     def popcount_and3(self, a: PackedPlane, b: PackedPlane) -> np.ndarray:
+        current_tracer().count("plane.word_ops")
         words = self._require_words() & a._require_words() & b._require_words()
         return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
 
     # -------------------------------------------------- temporaries
     def and_plane(self, other: PackedPlane) -> PackedPlane:
+        current_tracer().count("plane.word_ops")
         return type(self)(
             self.n, words=self._require_words() & other._require_words()
         )
 
     def and_mask(self, mask: np.ndarray) -> PackedPlane:
+        current_tracer().count("plane.word_ops")
         return type(self)(
             self.n, words=self._require_words() & self._mask_words(mask)
         )
 
     # -------------------------------------------------- in-place updates
     def blend_mask(self, src: np.ndarray, where: PackedPlane) -> None:
+        current_tracer().count("plane.word_ops")
         words = self._words_mutated()
         words ^= (words ^ self._mask_words(src)) & where._require_words()
 
     def blend_plane(self, src: PackedPlane, where: PackedPlane) -> None:
+        current_tracer().count("plane.word_ops")
         words = self._words_mutated()
         words ^= (words ^ src._require_words()) & where._require_words()
 
     def set_where(self, where: PackedPlane) -> None:
+        current_tracer().count("plane.word_ops")
         words = self._words_mutated()
         words |= where._require_words()
 
     def clear_where(self, where: PackedPlane) -> None:
+        current_tracer().count("plane.word_ops")
         words = self._words_mutated()
         words &= ~where._require_words()
 
     def xor_where(self, where: PackedPlane) -> None:
+        current_tracer().count("plane.word_ops")
         words = self._words_mutated()
         words ^= where._require_words()
 

@@ -49,6 +49,7 @@ from repro.analysis.statistics import (
 )
 from repro.engine import SweepResult, run_sweep, select_engine
 from repro.exceptions import ConfigurationError
+from repro.observability.tracer import current_tracer
 from repro.sweeps.spec import SweepPoint, SweepSpec
 from repro.sweeps.store import (
     ResultsStore,
@@ -354,43 +355,59 @@ def run_adaptive(
     def budget_left() -> bool:
         return limit is None or executed < limit
 
+    tracer = current_tracer()
+
     def run_batch(state: _PointState, count: int) -> None:
         nonlocal executed
         batch_started = time.perf_counter()
-        batch = run_sweep(
-            experiment=state.point.experiment(),
+        # The span records the allocation decision's inputs (the point, its
+        # accumulated offset, the batch size) and — via annotate — the width
+        # the batch landed on: the trace replays the greedy width trajectory.
+        with tracer.span(
+            "adaptive.batch",
+            point=state.point.label(),
+            offset=state.trials,
             trials=count,
-            base_seed=state.point.base_seed,
-            engine=requested,
-            workers=workers,
-            backend=backend,
-            trial_offset=state.trials,
-        )
-        merged = (
-            batch
-            if state.result is None
-            else SweepResult(
-                experiment=batch.experiment,
-                trials=state.result.trials + batch.trials,
-                engine=batch.engine,
+        ) as span:
+            batch = run_sweep(
+                experiment=state.point.experiment(),
+                trials=count,
+                base_seed=state.point.base_seed,
+                engine=requested,
+                workers=workers,
+                backend=backend,
+                trial_offset=state.trials,
             )
-        )
-        state.result = merged
-        store.put(
-            state.key,
-            adaptive_record(
-                state.point, merged, batch.engine,
-                precision=targets.precision, batch_size=targets.batch_size,
-                max_trials=targets.max_trials, z=targets.z,
-            ),
-        )
+            merged = (
+                batch
+                if state.result is None
+                else SweepResult(
+                    experiment=batch.experiment,
+                    trials=state.result.trials + batch.trials,
+                    engine=batch.engine,
+                )
+            )
+            state.result = merged
+            store.put(
+                state.key,
+                adaptive_record(
+                    state.point, merged, batch.engine,
+                    precision=targets.precision, batch_size=targets.batch_size,
+                    max_trials=targets.max_trials, z=targets.z,
+                ),
+            )
+            current = estimate_point(state.point, state.key, merged, targets)
+            span.annotate(
+                total_trials=merged.num_trials,
+                width=current.width,
+                converged=current.converged,
+            )
         seconds = time.perf_counter() - batch_started
         state.computed_trials += count
         state.computed_batches += 1
         state.seconds += seconds
         executed += 1
         if progress is not None:
-            current = estimate_point(state.point, state.key, merged, targets)
             progress(
                 BatchOutcome(
                     point=state.point, key=state.key, batch_trials=count,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.engine import run_sweep, select_engine
+from repro.observability.tracer import Tracer, current_tracer
 from repro.sweeps.spec import SweepPoint, SweepSpec
 from repro.sweeps.store import ResultsStore, engine_family, point_key, sweep_record
 
@@ -47,6 +48,12 @@ class SweepRunReport:
     engine: str
     outcomes: list[PointOutcome]
     seconds: float = 0.0
+    #: Store-cache counters of this invocation, read back from the telemetry
+    #: counter surface (``store.cache_hit`` / ``store.cache_miss``) rather
+    #: than re-derived from the index: a hit is a point served from the
+    #: store, a miss a point that had to execute (or stayed pending).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total(self) -> int:
@@ -74,6 +81,13 @@ class SweepRunReport:
             f"{self.computed} computed, {self.cached} cached, "
             f"{self.pending} pending (engine {self.engine}, "
             f"{self.seconds:.2f}s)"
+        )
+
+    def cache_line(self) -> str:
+        """The store-cache counter line (printed below the summary line)."""
+        return (
+            f"store cache: {self.cache_hits} hits, {self.cache_misses} misses "
+            f"({self.computed} points computed, {self.cached} served from cache)"
         )
 
 
@@ -151,24 +165,37 @@ def run_spec(
     requested = engine if engine is not None else spec.engine
     outcomes: list[PointOutcome] = []
     executed = 0
+    tracer = current_tracer()
+    # The cache counters must exist even when tracing is disabled (they back
+    # the `repro sweep` output), so an untraced run counts into a local
+    # throwaway Tracer instead of the NullTracer.
+    counters = tracer if tracer.enabled else Tracer()
+    hits_before = counters.counter_value("store.cache_hit")
+    misses_before = counters.counter_value("store.cache_miss")
     try:
         for index, (point, key) in enumerate(pairs):
             if key in store:
+                counters.count("store.cache_hit")
                 outcome = PointOutcome(point=point, key=key, status="cached",
                                        engine=store.get(key).get("engine", "-"))
             elif limit is not None and executed >= limit:
+                counters.count("store.cache_miss")
                 outcome = PointOutcome(point=point, key=key, status="pending")
             else:
+                counters.count("store.cache_miss")
                 point_started = time.perf_counter()
-                result = run_sweep(
-                    experiment=point.experiment(),
-                    trials=point.trials,
-                    base_seed=point.base_seed,
-                    engine=requested,
-                    workers=workers,
-                    backend=backend,
-                )
-                store.put(key, sweep_record(point, result, result.engine))
+                with tracer.span(
+                    "sweep.point", point=point.label(), key=key[:12]
+                ):
+                    result = run_sweep(
+                        experiment=point.experiment(),
+                        trials=point.trials,
+                        base_seed=point.base_seed,
+                        engine=requested,
+                        workers=workers,
+                        backend=backend,
+                    )
+                    store.put(key, sweep_record(point, result, result.engine))
                 executed += 1
                 outcome = PointOutcome(
                     point=point,
@@ -189,6 +216,8 @@ def run_spec(
         engine=requested,
         outcomes=outcomes,
         seconds=time.perf_counter() - started,
+        cache_hits=counters.counter_value("store.cache_hit") - hits_before,
+        cache_misses=counters.counter_value("store.cache_miss") - misses_before,
     )
 
 
@@ -200,19 +229,28 @@ def status_spec(
 ) -> SweepRunReport:
     """Coverage of ``spec`` in ``store`` without executing anything."""
     pairs = spec_keys(spec, engine=engine)
-    outcomes = [
-        PointOutcome(
-            point=point,
-            key=key,
-            status="cached" if key in store else "pending",
-            engine=(store.get(key) or {}).get("engine", "-"),
+    tracer = current_tracer()
+    counters = tracer if tracer.enabled else Tracer()
+    hits_before = counters.counter_value("store.cache_hit")
+    misses_before = counters.counter_value("store.cache_miss")
+    outcomes = []
+    for point, key in pairs:
+        cached = key in store
+        counters.count("store.cache_hit" if cached else "store.cache_miss")
+        outcomes.append(
+            PointOutcome(
+                point=point,
+                key=key,
+                status="cached" if cached else "pending",
+                engine=(store.get(key) or {}).get("engine", "-"),
+            )
         )
-        for point, key in pairs
-    ]
     return SweepRunReport(
         spec=spec,
         engine=engine if engine is not None else spec.engine,
         outcomes=outcomes,
+        cache_hits=counters.counter_value("store.cache_hit") - hits_before,
+        cache_misses=counters.counter_value("store.cache_miss") - misses_before,
     )
 
 

@@ -41,6 +41,7 @@ from typing import Any, Iterator, Mapping
 from repro.core.runner import TrialsResult, TrialSummary
 from repro.engine import ENGINE_FAMILIES, SweepResult
 from repro.exceptions import ConfigurationError
+from repro.observability.tracer import current_tracer
 from repro.sweeps.spec import SweepPoint, canonical_json
 
 #: Bumped whenever a kernel/engine change alters what stored results mean;
@@ -257,6 +258,7 @@ class ResultsStore:
 
     def get(self, key: str) -> dict[str, Any] | None:
         """The latest record stored under ``key`` (or None)."""
+        current_tracer().count("store.read")
         return self._records.get(key)
 
     def records(self, kind: str | None = None) -> list[dict[str, Any]]:
@@ -272,6 +274,7 @@ class ResultsStore:
         """Append one record under ``key`` (flushed before returning)."""
         if not key:
             raise ConfigurationError("a store key must be non-empty")
+        current_tracer().count("store.write")
         stamped = {
             "key": key,
             **record,
