@@ -39,11 +39,13 @@ from their own generators.
 ``adjacency`` mask and an i.i.d. per-edge ``loss`` probability
 (:mod:`repro.topology`) restrict which broadcasts reach which recipients.
 With either active, the engine switches the global ``(B,)`` honest tallies
-for *per-recipient* ``(B, n)`` receive counts (a delivered-edge matmul),
-the committee coin becomes each recipient's sign over the designated shares
-*it actually received*, and the CONGEST message counters charge delivered
-edges only — all downstream threshold logic is shape-polymorphic and runs
-unchanged.  The contract is:
+for *per-recipient* ``(B, n)`` receive counts (a delivered-edge contraction
+whose engine is picked density- and backend-aware by
+:mod:`repro.topology.counting` — segment sums, a float32 sgemm, or an
+AND+popcount over packed uint64 words), the committee coin becomes each
+recipient's sign over the designated shares *it actually received*, and the
+CONGEST message counters charge delivered edges only — all downstream
+threshold logic is shape-polymorphic and runs unchanged.  The contract is:
 
 * ``adjacency is None`` with ``loss == 0`` is the clique: the historical
   code path runs verbatim, bit for bit.  An explicit all-True adjacency
@@ -77,9 +79,18 @@ from repro.exceptions import ConfigurationError
 from repro.observability.tracer import current_tracer
 from repro.simulator.bitplanes import row_popcount
 from repro.simulator.planes import PlaneBackend, resolve_backend
-from repro.topology.counting import AdjacencyCounter
+from repro.topology.counting import (
+    AdjacencyCounter,
+    DenseDeliveredChannel,
+    PackedDeliveredChannel,
+    word_width,
+)
 from repro.topology.generators import validate_adjacency
-from repro.topology.loss import sample_delivered, validate_loss
+from repro.topology.loss import (
+    sample_delivered,
+    sample_delivered_words,
+    validate_loss,
+)
 
 __all__ = ["COIN_SOURCES", "PhaseEngine", "draw_committee_shares", "finalize_planes"]
 
@@ -193,11 +204,12 @@ class PhaseEngine:
             ``None`` for ``$REPRO_PLANE_BACKEND``-then-default; see
             :mod:`repro.simulator.planes`).  Resolved at :meth:`run_batch`
             time so the environment variable is read per run.  All backends
-            are bit-identical; masked (topology/loss) runs pin the ``numpy``
-            reference backend regardless — their cost is the delivered-edge
-            matmuls, which packed words cannot help, and
-            :class:`~repro.topology.counting.AdjacencyCounter` contracts
-            boolean planes directly.
+            are bit-identical, masked (topology/loss) runs included: on a
+            ``packed_words`` backend the masked tallies run as AND+popcount
+            word contractions over packed delivered-edge words
+            (:class:`~repro.topology.counting.MaskedCounter`; same Philox
+            delivered draws, only the contraction changes), on the boolean
+            backend as the historical segment-sum / float32-sgemm forms.
     """
 
     n: int
@@ -284,12 +296,13 @@ class PhaseEngine:
         quorum = n - t
         phase_cap = self.max_phases if self.las_vegas else self.num_phases
 
-        # Masked runs pin the numpy reference backend: their hot path is the
-        # delivered-edge contraction over boolean planes, not the blend/tally
-        # ops the packed words accelerate (the documented AdjacencyCounter
-        # unpack shim).
         masked = self.adjacency is not None or self.loss > 0.0
-        ops = resolve_backend("numpy") if masked else resolve_backend(self.backend)
+        ops = resolve_backend(self.backend)
+        # Word-capable backends carry the masked tallies as AND+popcount
+        # contractions over packed delivered-edge words; everything else
+        # gets the historical boolean/float32 channels.  Exact int64 counts
+        # either way, so the choice never shows up in results.
+        packed_comms = masked and ops.packed_words
         # Telemetry reads clocks and counters only — it draws no randomness
         # and never touches plane state, so results are bit-identical with
         # tracing on or off (the default NullTracer makes each site a no-op).
@@ -318,34 +331,43 @@ class PhaseEngine:
 
         # Masked-plane machinery (topology / loss axis).  The loss-free mask
         # tallies go through an AdjacencyCounter (segment sums at the density
-        # extremes, float32 sgemm in between — exact-integer equivalent);
-        # lossy rounds contract against that round's delivered-edge matrix,
-        # sampled directly as float32 (exact for counts up to 2^24).
+        # extremes; in the middle a float32 sgemm, or an AND+popcount word
+        # tally on a packed backend — exact-integer equivalent); lossy rounds
+        # contract against that round's delivered-edge masks, sampled as
+        # float32 matrices (exact for counts up to 2^24) or as packed uint64
+        # words from the identical Philox stream.
         counter = (
-            AdjacencyCounter(self.adjacency)
+            AdjacencyCounter(self.adjacency, packed=packed_comms)
             if masked and self.loss == 0.0
             else None
         )
-        # One reusable float32 delivered-edge buffer serves both rounds:
-        # deliver1's last read (the round-1 receive tallies) precedes the
-        # round-2 draw, and compaction only shrinks the leading axis, so a
-        # batch-0-sized buffer sliced to the live batch is always enough.
+        # One reusable delivered-edge buffer (float32 matrices or uint64
+        # words) serves both rounds: deliver1's last read (the round-1
+        # receive tallies) precedes the round-2 draw, and compaction only
+        # shrinks the leading axis, so a batch-0-sized buffer sliced to the
+        # live batch is always enough.
         deliver_buf: np.ndarray | None = None
 
-        def receive_counts(sent: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
-            """Per-recipient receive tallies of the boolean ``sent`` plane."""
-            if deliver_f is None:
-                return counter.receive_counts(sent)
-            counts = (sent.astype(np.float32)[:, None, :] @ deliver_f)[:, 0, :]
-            return counts.astype(np.int64)
-
-        def count_delivered(senders: np.ndarray, deliver_f: np.ndarray | None) -> np.ndarray:
-            """Delivered honest edges per trial (the masked message counter)."""
-            if deliver_f is None:
-                return counter.delivered_edges(senders)
-            return np.einsum(
-                "bj,bji->b", senders.astype(np.float32), deliver_f
-            ).astype(np.int64)
+        def round_channel(running: np.ndarray):
+            """Sample one round's delivered masks into a tally channel."""
+            nonlocal deliver_buf
+            if packed_comms:
+                if deliver_buf is None:
+                    deliver_buf = np.zeros(
+                        (batch0, n, word_width(n)), dtype=np.uint64
+                    )
+                words = sample_delivered_words(
+                    self.adjacency, self.loss, n, rngs, running,
+                    out=deliver_buf[: len(orig)],
+                )
+                return PackedDeliveredChannel(words, n)
+            if deliver_buf is None:
+                deliver_buf = np.empty((batch0, n, n), dtype=np.float32)
+            delivered = sample_delivered(
+                self.adjacency, self.loss, n, rngs, running,
+                out=deliver_buf[: len(orig)],
+            )
+            return DenseDeliveredChannel(delivered)
 
         def archive(rows: np.ndarray) -> None:
             where = orig[rows]
@@ -418,14 +440,9 @@ class PhaseEngine:
             # kernel speaks (fixed per-phase draw order: round-1 plane,
             # round-2 plane, committee shares) and only for running trials.
             with tracer.span("engine.round1", phase=phase):
-                deliver1 = None
+                chan1 = counter
                 if masked and self.loss > 0.0:
-                    if deliver_buf is None:
-                        deliver_buf = np.empty((batch0, n, n), dtype=np.float32)
-                    deliver1 = sample_delivered(
-                        self.adjacency, self.loss, n, rngs, running,
-                        out=deliver_buf[: len(orig)],
-                    )
+                    chan1 = round_channel(running)
                 ones_pre = value.popcount_and(active)
                 effect1 = kernel.round1(ctx, ones_pre, sender_count - ones_pre)
                 if ctx.mutated:
@@ -438,15 +455,20 @@ class PhaseEngine:
                 else:
                     ones_honest = ones_pre
                 if masked:
-                    ones_recv = receive_counts(value.bools() & active.bools(), deliver1)
-                    zeros_recv = receive_counts(active.bools() & ~value.bools(), deliver1)
-                    if deliver1 is None:
-                        delivered = count_delivered(active.bools(), None)
+                    # Two contractions cover the round: `active`'s tally and
+                    # the `value & active` tally; the zero-senders' tally is
+                    # their exact-integer difference (the two sender sets
+                    # partition `active`).
+                    recv_active = active.receive_counts(chan1)
+                    ones_recv = value.receive_counts_and(active, chan1)
+                    zeros_recv = recv_active - ones_recv
+                    if self.loss == 0.0:
+                        delivered = counter.delivered_edges(active.bools())
                     else:
-                        # The tallies' disjoint union is exactly `active`, so
-                        # their sum *is* the delivered-edge message counter —
-                        # sparing a third contraction against the loss matrix.
-                        delivered = (ones_recv + zeros_recv).sum(axis=1)
+                        # `active`'s per-recipient tally sums to the delivered
+                        # edges — sparing a third contraction against the
+                        # round's loss masks.
+                        delivered = recv_active.sum(axis=1)
                     messages[running] += delivered[running]
                     ones = ones_recv + np.asarray(effect1.ones)
                     zeros = zeros_recv + np.asarray(effect1.zeros)
@@ -464,13 +486,9 @@ class PhaseEngine:
 
             # ---------------- Round 2 ----------------
             # Non-rushing committee corruption happens before the flips exist.
-            deliver2 = None
+            chan2 = counter
             if masked and self.loss > 0.0:
-                assert deliver_buf is not None
-                deliver2 = sample_delivered(
-                    self.adjacency, self.loss, n, rngs, running,
-                    out=deliver_buf[: len(orig)],
-                )
+                chan2 = round_channel(running)
             with tracer.span("engine.pre_coin", phase=phase):
                 kernel.pre_coin(ctx)
                 if ctx.mutated:
@@ -480,15 +498,18 @@ class PhaseEngine:
                     ctx.mutated = False
             with tracer.span("engine.round2", phase=phase):
                 if masked:
-                    messages[running] += count_delivered(active.bools(), deliver2)[running]
+                    messages[running] += active.delivered_edges(chan2)[running]
                 else:
                     messages[running] += sender_count[running] * n
                 d1_honest = value.popcount_and3(active, decided)
                 d0_honest = active.popcount_and(decided) - d1_honest
                 if masked:
-                    decided_senders = active.bools() & decided.bools()
-                    d1_recv = receive_counts(value.bools() & decided_senders, deliver2)
-                    d0_recv = receive_counts(decided_senders & ~value.bools(), deliver2)
+                    # Same two-contraction split as round 1: the decided
+                    # senders' tally and its value-1 part; the value-0 part
+                    # is the exact-integer difference.
+                    d_recv = decided.receive_counts_and(active, chan2)
+                    d1_recv = value.receive_counts_and3(active, decided, chan2)
+                    d0_recv = d_recv - d1_recv
 
                 # Share draws: always for the committee coin; lazily for the
                 # others, only when a share-hungry kernel can reach the coin case
@@ -521,9 +542,9 @@ class PhaseEngine:
                 if shares is not None:
                     honest_sum = shares.sum(axis=1, dtype=np.int64)
                     if masked and self.coin == "committee":
-                        share_plane = np.zeros((len(orig), n), dtype=np.float32)
+                        share_plane = np.zeros((len(orig), n), dtype=np.int8)
                         share_plane[:, start:stop] = shares
-                        share_recv = receive_counts(share_plane, deliver2)
+                        share_recv = chan2.signed_counts(share_plane)
                     if kernel.needs_shares:
                         ctx.shares = shares
                 else:

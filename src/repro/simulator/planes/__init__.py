@@ -59,6 +59,7 @@ __all__ = [
     "PackedPlane",
     "Plane",
     "PlaneBackend",
+    "accelerator_status",
     "available_backends",
     "get_backend",
     "pack_bools",
@@ -121,5 +122,6 @@ register_backend(PackedBackend())
 
 # Optional accelerator backends (registered only when importable).
 from repro.simulator.planes import accel as _accel  # noqa: E402
+from repro.simulator.planes.accel import accelerator_status  # noqa: E402
 
 _accel.register_available(register_backend)

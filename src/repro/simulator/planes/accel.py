@@ -32,15 +32,20 @@ import numpy as np
 from repro.simulator.planes.base import PlaneBackend
 from repro.simulator.planes.packed import PackedBackend, PackedPlane
 
-__all__ = ["register_available"]
+__all__ = ["accelerator_status", "register_available"]
+
+#: Registration outcome per guarded accelerator slot, recorded when
+#: :func:`register_available` runs at package import (``repro engines``
+#: surfaces it instead of silently omitting unavailable backends).
+_STATUS: dict[str, str] = {}
 
 
-def _build_numba_backend() -> PlaneBackend | None:
-    """The Numba-accelerated packed backend, or None when unavailable."""
+def _build_numba_backend() -> tuple[PlaneBackend | None, str]:
+    """The Numba-accelerated packed backend (or None) plus a status line."""
     try:
         import numba
     except ImportError:
-        return None
+        return None, "not registered (numba is not importable here)"
 
     try:
 
@@ -65,9 +70,9 @@ def _build_numba_backend() -> PlaneBackend | None:
         probe = np.zeros(1, dtype=np.int64)
         _row_popcount_words(np.array([[np.uint64(3)]]), probe)
         if probe[0] != 2:
-            return None
-    except Exception:
-        return None
+            return None, "not registered (popcount probe returned a wrong count)"
+    except Exception as exc:
+        return None, f"not registered (compilation probe failed: {exc})"
 
     class NumbaPackedPlane(PackedPlane):  # pragma: no cover - needs numba
         __slots__ = ()
@@ -92,11 +97,22 @@ def _build_numba_backend() -> PlaneBackend | None:
         name = "numba"
         plane_class = NumbaPackedPlane
 
-    return NumbaPackedBackend()
+    return NumbaPackedBackend(), "registered"
 
 
 def register_available(register: Callable[[PlaneBackend], PlaneBackend]) -> None:
     """Register every accelerator backend whose toolchain imports cleanly."""
-    backend = _build_numba_backend()
+    backend, reason = _build_numba_backend()
+    _STATUS["numba"] = reason
     if backend is not None:
         register(backend)
+
+
+def accelerator_status() -> dict[str, str]:
+    """Guarded accelerator slot -> registration outcome in this environment.
+
+    ``"registered"`` means the slot's backend compiled, passed its probe and
+    is live in :func:`repro.simulator.planes.available_backends`; anything
+    else is the reason it stayed out (import failure, broken toolchain).
+    """
+    return dict(_STATUS)

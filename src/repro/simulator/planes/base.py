@@ -90,6 +90,33 @@ class Plane(ABC):
     def fill_false(self) -> None:
         """Set every cell False."""
 
+    # -------------------------------------------------- masked tallies
+    # ``channel`` is a masked tally channel from :mod:`repro.topology.
+    # counting` (an :class:`~repro.topology.counting.AdjacencyCounter` or a
+    # per-round delivered channel): backends route the contraction to the
+    # channel's word form (``receive_counts_words``) when both sides speak
+    # packed uint64 words (``channel.wants_words`` on a ``packed_words``
+    # backend), and to the boolean form otherwise.  Either way the counts
+    # are exact int64 — the channel strategies are bit-identical by
+    # construction — so these ops never affect results, only speed.
+
+    @abstractmethod
+    def receive_counts(self, channel) -> np.ndarray:
+        """Per-recipient masked receive tallies of this plane's senders."""
+
+    @abstractmethod
+    def receive_counts_and(self, other: Plane, channel) -> np.ndarray:
+        """Per-recipient masked tallies of the ``self & other`` senders."""
+
+    @abstractmethod
+    def receive_counts_and3(self, a: Plane, b: Plane, channel) -> np.ndarray:
+        """Per-recipient masked tallies of the ``self & a & b`` senders."""
+
+    @abstractmethod
+    def delivered_edges(self, channel) -> np.ndarray:
+        """``(B,)`` delivered edges when this plane's True cells broadcast
+        (the masked CONGEST message counter)."""
+
     # -------------------------------------------------- structure
     @abstractmethod
     def take(self, keep: np.ndarray) -> Plane:
@@ -116,6 +143,12 @@ class PlaneBackend(ABC):
 
     #: Registry name (``repro trials --backend <name>``).
     name: str = "abstract"
+
+    #: True when planes natively hold ``pack_bools``-layout uint64 words.
+    #: The masked engines consult this to pick the word-native tally
+    #: channels (packed delivered-edge sampling, AND+popcount contraction)
+    #: over the boolean/float32 forms; results are identical either way.
+    packed_words: bool = False
 
     @abstractmethod
     def from_bools(self, array: np.ndarray) -> Plane:

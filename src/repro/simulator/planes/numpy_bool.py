@@ -77,6 +77,24 @@ class NumpyBoolPlane(Plane):
     def fill_false(self) -> None:
         self.array[:] = False
 
+    # -------------------------------------------------- masked tallies
+    # The channel's boolean form *is* the historical masked arithmetic
+    # (segment sums / float32 contractions over bool planes), so the
+    # reference backend simply hands its array over.
+    def receive_counts(self, channel) -> np.ndarray:
+        return channel.receive_counts(self.array)
+
+    def receive_counts_and(self, other: NumpyBoolPlane, channel) -> np.ndarray:
+        return channel.receive_counts(self.array & other.array)
+
+    def receive_counts_and3(
+        self, a: NumpyBoolPlane, b: NumpyBoolPlane, channel
+    ) -> np.ndarray:
+        return channel.receive_counts(self.array & a.array & b.array)
+
+    def delivered_edges(self, channel) -> np.ndarray:
+        return channel.delivered_edges(self.array)
+
     # -------------------------------------------------- structure
     def take(self, keep: np.ndarray) -> NumpyBoolPlane:
         return NumpyBoolPlane(self.array[keep])

@@ -199,6 +199,42 @@ class PackedPlane(Plane):
             self._bools[:] = False
             self._bools_valid = True
 
+    # -------------------------------------------------- masked tallies
+    # Word-speaking channels (``wants_words``: the mid-density packed
+    # adjacency strategy and the per-round delivered-word channels) read
+    # the uint64 words straight off the plane — the AND compositions stay
+    # word ops and nothing unpacks.  Segment-strategy channels fall back to
+    # the boolean form at the usual lazy-mirror cost.
+    def receive_counts(self, channel) -> np.ndarray:
+        if channel.wants_words:
+            current_tracer().count("plane.word_ops")
+            return channel.receive_counts_words(self._require_words())
+        return channel.receive_counts(self.bools())
+
+    def receive_counts_and(self, other: PackedPlane, channel) -> np.ndarray:
+        if channel.wants_words:
+            current_tracer().count("plane.word_ops")
+            return channel.receive_counts_words(
+                self._require_words() & other._require_words()
+            )
+        return channel.receive_counts(self.bools() & other.bools())
+
+    def receive_counts_and3(
+        self, a: PackedPlane, b: PackedPlane, channel
+    ) -> np.ndarray:
+        if channel.wants_words:
+            current_tracer().count("plane.word_ops")
+            return channel.receive_counts_words(
+                self._require_words() & a._require_words() & b._require_words()
+            )
+        return channel.receive_counts(self.bools() & a.bools() & b.bools())
+
+    def delivered_edges(self, channel) -> np.ndarray:
+        if channel.wants_words:
+            current_tracer().count("plane.word_ops")
+            return channel.delivered_edges_words(self._require_words())
+        return channel.delivered_edges(self.bools())
+
     # -------------------------------------------------- structure
     def take(self, keep: np.ndarray) -> PackedPlane:
         taken = type(self)(self.n)
@@ -215,6 +251,7 @@ class PackedBackend(PlaneBackend):
     """Planes as uint64 word arrays, 64 nodes per word."""
 
     name = "packed"
+    packed_words = True
 
     #: Plane class hook: accelerator backends substitute a subclass.
     plane_class: type[PackedPlane] = PackedPlane

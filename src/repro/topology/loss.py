@@ -32,7 +32,12 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["sample_delivered", "sample_drops", "validate_loss"]
+__all__ = [
+    "sample_delivered",
+    "sample_delivered_words",
+    "sample_drops",
+    "validate_loss",
+]
 
 
 def validate_loss(loss: float) -> float:
@@ -95,6 +100,65 @@ def sample_delivered(
             kept &= adjacency
         np.einsum("ii->i", kept)[:] = True
         delivered[b] = kept
+    return delivered
+
+
+def sample_delivered_words(
+    adjacency: np.ndarray | None,
+    loss: float,
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    running: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One round's delivered-edge matrices, bit-packed recipient-major.
+
+    The packed-backend sibling of :func:`sample_delivered`: the *same*
+    per-trial Philox draws in the same order (one ``(n, n)`` uniform plane
+    per running trial), but each trial's kept matrix is emitted as
+    ``(n, ceil(n/64))`` uint64 words — row ``i`` packs the senders whose
+    round messages reach recipient ``i``, in the
+    :func:`repro.simulator.planes.packed.pack_bools` layout — so the
+    masked tallies can run as AND+popcount word contractions
+    (:class:`repro.topology.counting.PackedDeliveredChannel`) without the
+    float32 round-trip.  Packing transposes for free: ``np.packbits`` along
+    the sender axis yields the recipient-major byte rows directly.
+
+    Args:
+        out: Optional ``(B, n, ceil(n/64))`` uint64 buffer.  Must start
+            zeroed the first time (the pad bytes beyond ``ceil(n/8)`` are
+            never written and rely on staying zero — the packed tail-bit
+            invariant); rows of trials that stop running are re-zeroed here,
+            exactly like the float32 buffer contract.
+
+    Returns:
+        ``(B, n, ceil(n/64))`` uint64 words (``out`` when given): bit ``j``
+        of row ``[b, i]`` is set when ``j``'s round message reaches ``i``
+        in trial ``b``.  The diagonal is always delivered; non-running rows
+        are all-zero.
+    """
+    batch = len(running)
+    width = max(1, -(-n // 64))
+    if out is None:
+        delivered = np.zeros((batch, n, width), dtype=np.uint64)
+    else:
+        delivered = out
+        idle = ~np.asarray(running, dtype=bool)
+        if idle.any():
+            delivered[idle] = 0
+    draw = np.empty((n, n), dtype=np.float64)
+    kept = np.empty((n, n), dtype=bool)
+    nbytes = (n + 7) // 8
+    for b in np.flatnonzero(running):
+        rngs[b].random(out=draw)
+        np.greater_equal(draw, loss, out=kept)
+        if adjacency is not None:
+            kept &= adjacency
+        np.einsum("ii->i", kept)[:] = True
+        # packbits over axis 0 packs each *column* (= each recipient's
+        # incoming senders) MSB-first; the transpose assignment lands them
+        # as recipient-major byte rows of the little-endian word view.
+        delivered[b].view(np.uint8)[:, :nbytes] = np.packbits(kept, axis=0).T
     return delivered
 
 

@@ -265,10 +265,12 @@ class TestEndToEndBitIdentity:
         packed = run_vectorized_trials(40, 5, **kwargs)
         assert packed.results == reference.results
 
-    def test_masked_and_lossy_runs_ignore_the_packed_request(self):
-        # Off-clique and lossy runs pin the numpy backend (the masked path
-        # contracts bool planes against the adjacency); a packed request must
-        # be accepted and produce the same results, not crash or diverge.
+    def test_masked_and_lossy_runs_honour_the_packed_request(self):
+        # Off-clique and lossy runs route their tallies through the
+        # backend-aware channels of repro.topology.counting: a packed request
+        # runs AND+popcount word tallies end to end and must be bit-identical
+        # to the numpy reference (tests/test_masked_backends.py covers the
+        # full generator x loss grid; this is the smoke pin).
         ring = build_topology("ring", 24)
         for extra in ({"adjacency": ring}, {"loss": 0.02}):
             kwargs = dict(
